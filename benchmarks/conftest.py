@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+series, and writes it to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.  Benchmarks also make *shape* assertions — the
+paper's qualitative claims — so a regression in the algorithms fails the
+suite rather than silently producing the wrong curve.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write a named report to the results directory and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Echoed so `pytest -s` shows it inline too.
+        print(f"\n=== {name} ===\n{text}")
+
+    return _report
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing.
+
+    The figure experiments are macro-benchmarks: a single run is the
+    measurement (its internal trials already average the randomness), and
+    re-running them for timing statistics would multiply the suite's
+    runtime for no extra information.
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the hot kernels (real timing loops).
+
+These are the operations every experiment leans on: histogram construction
+from a sorted sample, partitioning a probe set by existing separators,
+error-metric evaluation, and block sampling through the storage layer.
+They use pytest-benchmark's normal timing (many rounds) since each call is
+microseconds-to-milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.error_metrics import fractional_max_error, max_error_fraction
+from repro.core.histogram import EquiHeightHistogram
+from repro.sampling.block_sampler import sample_blocks
+from repro.storage import HeapFile
+
+N = 500_000
+K = 200
+
+
+@pytest.fixture(scope="module")
+def sorted_values():
+    rng = np.random.default_rng(0)
+    return np.sort(rng.integers(0, 10**9, size=N))
+
+
+@pytest.fixture(scope="module")
+def histogram(sorted_values):
+    return EquiHeightHistogram.from_sorted_values(sorted_values, K)
+
+
+@pytest.fixture(scope="module")
+def heapfile(sorted_values):
+    return HeapFile.from_values(sorted_values, layout="random", rng=1,
+                                blocking_factor=100)
+
+
+def test_build_histogram_from_sorted(benchmark, sorted_values):
+    result = benchmark(
+        EquiHeightHistogram.from_sorted_values, sorted_values, K
+    )
+    assert result.k == K
+
+
+def test_partition_probe_set(benchmark, histogram, sorted_values):
+    probe = sorted_values[::5]
+    counts = benchmark(histogram.count_values, probe)
+    assert counts.sum() == probe.size
+
+
+def test_max_error_fraction(benchmark, histogram):
+    value = benchmark(max_error_fraction, histogram.counts)
+    assert value >= 0
+
+
+def test_fractional_max_error(benchmark, histogram, sorted_values):
+    sample = sorted_values[::10]
+    value = benchmark(
+        fractional_max_error, histogram.separators, sample, sorted_values
+    )
+    assert value >= 0
+
+
+def test_block_sampling(benchmark, heapfile):
+    def take():
+        return sample_blocks(heapfile, 200, rng=2)
+
+    out = benchmark(take)
+    assert out.size == 200 * heapfile.blocking_factor
+
+
+def test_range_estimate(benchmark, histogram):
+    value = benchmark(histogram.estimate_range, 10**8, 6 * 10**8)
+    assert value > 0

@@ -1,0 +1,89 @@
+"""Density estimation accuracy — the paper's deferred claim, verified.
+
+Section 7.1: "because the estimation of the density was extremely accurate
+whenever the CVB algorithm converges, we defer a discussion of density
+estimation to the full version".
+
+Two density notions are evaluated from the same CVB samples:
+
+- the **self-join density** ``sum p_v^2`` (what SQL Server's density
+  actually is): a second moment, estimated by sample collisions — this is
+  the one that is "extremely accurate", because unlike the distinct *count*
+  it concentrates fast;
+- the **duplication density** derived from the GEE distinct estimate: this
+  inherits Theorem 8's hardness, and the bench shows it drift on extreme
+  skew — quantifying *why* the accurate density must be the second moment.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.engine import StatisticsManager, Table
+from repro.engine.density import column_density, selfjoin_density
+from repro.experiments import reporting
+from repro.workloads.datasets import make_dataset
+
+N = 100_000
+DATASETS = ("zipf0", "zipf2", "zipf4", "unif_dup", "all_distinct")
+
+
+def evaluate():
+    rows = []
+    for name in DATASETS:
+        dataset = make_dataset(name, N, rng=3)
+        true_sj = selfjoin_density(dataset.values)
+        true_dup = column_density(dataset.values)
+        manager = StatisticsManager()
+        table = Table("t", {"x": dataset.values})
+        stats = manager.analyze(table, "x", k=50, f=0.2, rng=4)
+        rows.append(
+            (
+                name,
+                f"{true_sj:.3e}",
+                f"{stats.selfjoin_density:.3e}",
+                round(
+                    abs(stats.selfjoin_density - true_sj) / max(true_sj, 1e-12),
+                    3,
+                ),
+                f"{true_dup:.3e}",
+                f"{stats.density:.3e}",
+                stats.converged,
+            )
+        )
+    return rows
+
+
+def test_density_accuracy(benchmark, report):
+    rows = run_once(benchmark, evaluate)
+    report(
+        "density_accuracy",
+        "\n\n".join(
+            [
+                reporting.paper_note(
+                    "self-join density (the SQL Server statistic) is "
+                    "extremely accurate whenever CVB converges; the "
+                    "distinct-count-derived form drifts on extreme skew, "
+                    "inheriting Theorem 8's hardness",
+                    caveat=f"n={N:,}, k=50, f=0.2",
+                ),
+                reporting.format_table(
+                    [
+                        "dataset",
+                        "selfjoin true",
+                        "selfjoin est",
+                        "rel err",
+                        "dup-density true",
+                        "dup-density est",
+                        "converged",
+                    ],
+                    rows,
+                ),
+            ]
+        ),
+    )
+
+    for name, _t, _e, rel_err, _dt, _de, converged in rows:
+        assert converged, name
+        # "Extremely accurate": single-digit percent relative error on the
+        # second-moment density, on every distribution.
+        assert rel_err <= 0.1, name

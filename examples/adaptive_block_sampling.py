@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Adaptive block sampling: watching CVB adapt to on-disk clustering.
+
+Section 4's scenario analysis: a page of b tuples is worth b independent
+samples when the layout is random, but only ~1 when tuples within a page
+are correlated.  CVB doesn't know the layout in advance — its cross-
+validation loop discovers the effective sampling rate from the data.
+
+This example builds the same Zipf column under three physical layouts
+(random, 20%-partially-clustered, fully sorted) and prints each CVB run's
+round-by-round trace: watch the clustered layouts fail validation longer
+and keep sampling.
+
+Run:  python examples/adaptive_block_sampling.py
+"""
+
+from repro import cvb_build, make_dataset
+from repro.core.error_metrics import fractional_max_error
+from repro.storage import HeapFile
+
+SEED = 23
+N = 200_000
+BLOCKING_FACTOR = 50
+K = 50
+F = 0.2
+
+
+def run_layout(values, layout: str) -> None:
+    heapfile = HeapFile.from_values(
+        values,
+        layout=layout,
+        rng=SEED,
+        blocking_factor=BLOCKING_FACTOR,
+        cluster_fraction=0.2,
+    )
+    result = cvb_build(heapfile, k=K, f=F, rng=SEED + 1)
+    achieved = fractional_max_error(
+        result.histogram.separators, result.sample, values
+    )
+
+    print(f"\n=== layout: {layout} ===")
+    for it in result.iterations[1:]:
+        verdict = "PASS" if it.passed else "fail"
+        print(
+            f"  round {it.index}: increment {it.increment_blocks:>5} blocks, "
+            f"error {it.observed_error:>8.1f} vs threshold "
+            f"{it.threshold:>8.1f} [{verdict}]"
+        )
+    rate = result.tuples_sampled / values.size
+    print(
+        f"  -> {result.pages_sampled:,} of {heapfile.num_pages:,} pages "
+        f"({rate:.1%} of rows), achieved error {achieved:.3f} "
+        f"(target {F}), exhausted={result.exhausted}"
+    )
+
+
+def main() -> None:
+    dataset = make_dataset("zipf2", N, rng=SEED)
+    print(f"column: {dataset.describe()}")
+    print(
+        f"CVB target: k={K} buckets, max error f={F}, "
+        f"{BLOCKING_FACTOR} tuples/page"
+    )
+    for layout in ("random", "partial", "sorted"):
+        run_layout(dataset.values, layout)
+
+    print(
+        "\ntakeaway: the same algorithm, fed the same tuples in a different "
+        "physical order, automatically samples more pages when pages carry "
+        "less information — without ever being told the layout."
+    )
+
+
+if __name__ == "__main__":
+    main()

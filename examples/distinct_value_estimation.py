@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Distinct-value estimation: the GEE estimator vs the classics vs the wall.
+
+Section 6 of the paper has three acts, all reproduced here:
+
+1. **The wall** (Theorem 8): two relations are built that a small sample
+   cannot tell apart — one all-distinct, one heavily duplicated.  Whatever
+   any estimator answers, it is badly wrong on one of them.
+2. **The estimator**: GEE (sqrt(n/r)*f1 + sum f_j) splits the difference
+   geometrically, which is the best possible against the wall; the classic
+   estimators are compared on Zipf and Unif/Dup data.
+3. **The metric that works**: rel-error |d - e|/n stays small even where
+   ratio error cannot, so an optimizer can still trust "d << n" decisions.
+
+Run:  python examples/distinct_value_estimation.py
+"""
+
+import numpy as np
+
+from repro import make_dataset
+from repro.core import bounds
+from repro.distinct import (
+    ALL_ESTIMATORS,
+    adversarial_pair,
+    estimate_all,
+    forced_ratio_error,
+    ratio_error,
+    rel_error,
+)
+
+SEED = 31
+N = 100_000
+SAMPLE = 5_000
+
+
+def act_one_the_wall() -> None:
+    print("=== Act 1: the Theorem 8 wall ===")
+    r, gamma = 50, 0.5
+    pair = adversarial_pair(N, r, gamma)
+    floor = bounds.theorem8_error_lower_bound(N, r, gamma)
+    print(
+        f"relations: HIGH d={pair.high_distinct:,} vs "
+        f"LOW d={pair.low_distinct:,} (each value x{pair.duplication})"
+    )
+    print(f"theorem floor at r={r}, gamma={gamma}: ratio error >= {floor:.1f}")
+    for estimator in ALL_ESTIMATORS[:3]:
+        err = np.median(
+            [forced_ratio_error(pair, estimator, rng=s) for s in range(9)]
+        )
+        print(f"  {estimator.name:<10} forced ratio error: {err:.1f}")
+    print()
+
+
+def act_two_the_estimators() -> None:
+    print("=== Act 2: estimator shoot-out (5% sample) ===")
+    rng = np.random.default_rng(SEED)
+    for name in ("zipf2", "unif_dup"):
+        dataset = make_dataset(name, N, rng=SEED)
+        truth = dataset.num_distinct
+        sample = dataset.values[rng.integers(0, N, size=SAMPLE)]
+        results = estimate_all(sample, N)
+        print(f"\n{name}: true d = {truth:,}")
+        for est_name, value in sorted(
+            results.items(), key=lambda kv: ratio_error(kv[1], truth)
+        ):
+            print(
+                f"  {est_name:<12} {value:>12,.0f}   "
+                f"ratio err {ratio_error(value, truth):>6.2f}   "
+                f"rel err {rel_error(value, truth, N):.4f}"
+            )
+    print()
+
+
+def act_three_the_metric() -> None:
+    print("=== Act 3: why rel-error is the metric to trust ===")
+    # The paper's own numeric example (Section 6.2).
+    n, d, e = 100_000, 500, 5_000
+    print(
+        f"n={n:,}, true d={d}, estimate e={e:,}: "
+        f"ratio error {ratio_error(e, d):.0f}x — looks terrible — but "
+        f"rel-error {rel_error(e, d, n):.3f}, so the optimizer still "
+        "correctly concludes d << n."
+    )
+
+
+def main() -> None:
+    act_one_the_wall()
+    act_two_the_estimators()
+    act_three_the_metric()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Histogram structures side by side: who summarises what best?
+
+The paper commits to equi-height histograms because commercial optimizers
+use them, and names "other histogram structures [15, 16]" as the extension
+frontier.  This example builds all four structures in the library over
+three very different columns and races them on the same range workload:
+
+- **equi-height** — the paper's structure, with SQL Server-style
+  equal-to-boundary counts;
+- **equi-width** — cheapest to build, collapses under skew;
+- **MaxDiff(V,A)** — boundaries at the largest frequency-x-spread jumps
+  (Ioannidis-Poosala [15]);
+- **compressed** — exact singletons for hot values + equi-height remainder
+  (Section 5).
+
+Run:  python examples/histogram_structures.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CompressedHistogram,
+    EquiHeightHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+)
+from repro.workloads import make_dataset, random_range_queries, true_range_count
+
+N, K, QUERIES = 100_000, 50, 300
+SEED = 3
+
+STRUCTURES = {
+    "equi-height": EquiHeightHistogram.from_values,
+    "equi-width": EquiWidthHistogram.from_values,
+    "maxdiff": MaxDiffHistogram.from_values,
+    "compressed": CompressedHistogram.from_values,
+}
+
+
+def race(dataset_name: str) -> None:
+    dataset = make_dataset(dataset_name, N, rng=SEED)
+    values = dataset.values
+    queries = random_range_queries(values, QUERIES, rng=SEED + 1)
+    truths = [true_range_count(values, q) for q in queries]
+    unit = N / K
+
+    print(f"\n=== {dataset.describe()} ===")
+    print(f"{'structure':<14} {'mean |err| (buckets)':>22} {'worst':>8}")
+    for name, build in STRUCTURES.items():
+        hist = build(values, K)
+        errors = [
+            abs(hist.estimate_range(q.lo, q.hi) - t)
+            for q, t in zip(queries, truths)
+        ]
+        print(
+            f"{name:<14} {np.mean(errors) / unit:>22.3f} "
+            f"{np.max(errors) / unit:>8.2f}"
+        )
+
+
+def main() -> None:
+    print(
+        f"{QUERIES} random range queries per column; errors in units of the "
+        f"ideal bucket size n/k = {N // K:,} rows"
+    )
+    for dataset_name in ("zipf0", "zipf2", "bimodal"):
+        race(dataset_name)
+    print(
+        "\ntakeaway: under skew, structure choice is worth an order of "
+        "magnitude; equi-height with boundary counts and compressed stay "
+        "reliable everywhere, which is what a general-purpose optimizer "
+        "needs — exactly the paper's premise."
+    )
+
+
+if __name__ == "__main__":
+    main()

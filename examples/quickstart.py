@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: build sampled statistics for a column and query them.
+
+This walks the full pipeline of the paper on a synthetic sales table:
+
+1. generate a skewed column (Zipf Z=2) and lay it out on simulated disk,
+2. run ANALYZE, which drives the paper's CVB adaptive block-sampling
+   algorithm (Section 4) until its cross-validation test certifies the
+   target max error (Section 2.3 / Theorem 7),
+3. inspect what it cost and how good the histogram actually is,
+4. use the statistics the way an optimizer would: range selectivity,
+   distinct count, equality cardinality.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import StatisticsManager, Table, make_dataset
+from repro.core.error_metrics import fractional_max_error
+from repro.workloads import true_range_count
+
+SEED = 7
+N = 200_000
+
+
+def main() -> None:
+    # -- 1. a table with a skewed column, stored on simulated disk pages --
+    dataset = make_dataset("zipf2", N, rng=SEED)
+    table = Table("sales", {"amount": dataset.values})
+    print(f"table: {table}")
+    print(f"column: {dataset.describe()}")
+
+    # -- 2. ANALYZE via adaptive block sampling -------------------------
+    manager = StatisticsManager()
+    stats = manager.analyze(
+        table,
+        "amount",
+        k=100,          # histogram buckets
+        f=0.2,          # target max error as a fraction of n/k
+        gamma=0.01,     # failure probability for the sampling bounds
+        layout="random",
+        rng=SEED + 1,
+    )
+    print(f"\nANALYZE -> {stats.summary()}")
+    print(f"cross-validation rounds: {len(stats.cvb_result.iterations)}")
+    for it in stats.cvb_result.iterations:
+        if it.index == 0:
+            print(f"  round 0: initial sample, {it.increment_tuples:,} tuples")
+        else:
+            verdict = "converged" if it.passed else "merge and continue"
+            print(
+                f"  round {it.index}: +{it.increment_tuples:,} tuples, "
+                f"observed error {it.observed_error:.3g} vs threshold "
+                f"{it.threshold:.3g} -> {verdict}"
+            )
+
+    # -- 3. how good is the histogram, really? --------------------------
+    achieved = fractional_max_error(
+        stats.histogram.separators, stats.sample, dataset.values
+    )
+    print(f"\nachieved max error vs full data: {achieved:.3f} (target 0.2)")
+    print(f"sampled {stats.sampling_rate:.1%} of rows, {stats.pages_read} pages")
+
+    # -- 4. answer optimizer questions from the statistics --------------
+    lo, hi = 100, 800
+    estimate = stats.estimate_range(lo, hi)
+    truth = true_range_count(dataset.values, _query(lo, hi))
+    print(f"\nrange amount in [{lo}, {hi}]: estimated {estimate:,.0f}, "
+          f"true {truth:,}")
+    print(f"distinct amounts: estimated {stats.distinct_estimate:,.0f}, "
+          f"true {dataset.num_distinct:,}")
+    print(f"density: {stats.density:.4f} "
+          "(0 = all distinct, 1 = all identical)")
+    print(f"equality predicate cardinality estimate: "
+          f"{stats.estimate_equality(42):,.1f} rows")
+
+
+def _query(lo, hi):
+    from repro.workloads import RangeQuery
+
+    return RangeQuery(lo, hi)
+
+
+if __name__ == "__main__":
+    main()

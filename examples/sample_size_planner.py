@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Sample-size planner: Corollary 1 as a DBA-facing tool.
+
+The paper stresses that its trade-off is "multi-functional" (Example 3):
+one formula answers three operational questions.  This example is that
+tool — give it what you know, it solves for what you don't:
+
+  - How much must I sample for k buckets at error f?
+  - How many buckets can my sampling budget support?
+  - What error should I expect from the sample I can afford?
+
+It also prints the comparison against the prior GMP bound (Example 4) and
+what the budget means in disk blocks for several record sizes.
+
+Run:  python examples/sample_size_planner.py
+"""
+
+from repro.core import bounds
+from repro.exceptions import InfeasibleBoundError
+from repro.storage import RecordSpec
+
+GAMMA = 0.01
+
+
+def plan_sample_size(n: int, k: int, f: float) -> None:
+    r = bounds.corollary1_sample_size(n, k, f, GAMMA)
+    print(
+        f"n={n:>13,}  k={k:>4}  f={f:>5.2f}  ->  sample r = {r:>12,} "
+        f"({r / n:7.2%} of rows)"
+    )
+
+
+def main() -> None:
+    print("How much sampling for a target histogram? (Corollary 1)")
+    for n in (10**6, 10**7, 10**9):
+        plan_sample_size(n, k=500, f=0.2)
+    plan_sample_size(10**7, k=100, f=0.1)
+    plan_sample_size(10**7, k=600, f=0.1)
+
+    print("\nHow many buckets can a 1M-row sample support? (f = 0.25)")
+    for n in (10**7, 10**8, 10**9):
+        k = bounds.corollary1_max_buckets(n, 2**20, 0.25, GAMMA)
+        print(f"  n={n:>13,} -> k <= {k}")
+
+    print("\nWhat error does an 800K sample buy at k = 200?")
+    for n in (10**7, 10**8, 10**9):
+        f = bounds.corollary1_error_fraction(n, 200, 800_000, GAMMA)
+        print(f"  n={n:>13,} -> f <= {f:.1%}")
+
+    print("\nThe same budget in disk blocks (block sampling, Section 4):")
+    r = bounds.corollary1_sample_size(10**7, 200, 0.1, GAMMA)
+    for record_size in (16, 32, 64, 128):
+        spec = RecordSpec(record_size=record_size)
+        blocks = -(-r // spec.blocking_factor)  # ceil
+        print(
+            f"  {record_size:>3}-byte records ({spec.blocking_factor:>3} "
+            f"tuples/page): g0 = {blocks:,} pages"
+        )
+
+    print("\nAnd the prior art (GMP, Theorem 6) for contrast:")
+    for f in (0.43, 0.35, 0.2):
+        try:
+            c = bounds.gmp_required_c(500, f)
+            gmp = bounds.gmp_theorem6(500, c, n=10**9)
+            status = "valid" if gmp.feasible else (
+                f"needs n >= {gmp.n_min:.0e} to be valid"
+            )
+            print(f"  f={f}: c={c:.0f}, r={gmp.r:,} ({status})")
+        except InfeasibleBoundError as exc:
+            print(f"  f={f}: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Selectivity estimation: the error metric's consequences, live.
+
+Section 2 of the paper argues that bounding a histogram's *max* error
+(Definition 1) is what actually protects range-query estimates, while
+average/variance bounds permit silent disasters.  This example makes that
+concrete:
+
+- builds three histograms over the same skewed column — a perfect one, a
+  well-sampled one (small max error), and an under-sampled one,
+- runs the same 500-query range workload through each,
+- reports the Theorem 3 envelope next to the measured errors, and
+- compares equi-height against equi-width and compressed histograms on a
+  hot-value probe.
+
+Run:  python examples/selectivity_estimation.py
+"""
+
+import numpy as np
+
+from repro import EquiHeightHistogram, make_dataset
+from repro.core import CompressedHistogram, EquiWidthHistogram, bounds
+from repro.core.error_metrics import max_error_fraction
+from repro.engine.selectivity import RangeSelectivityEstimator, evaluate_workload
+from repro.sampling.record_sampler import sample_with_replacement
+from repro.workloads import random_range_queries
+
+SEED = 11
+N = 200_000
+K = 100
+
+
+def build_histograms(values):
+    rng = np.random.default_rng(SEED)
+    rich_sample = np.sort(sample_with_replacement(values, 40_000, rng))
+    poor_sample = np.sort(sample_with_replacement(values, 500, rng))
+    return {
+        "perfect (full scan)": EquiHeightHistogram.from_sorted_values(values, K),
+        "sampled r=40k": EquiHeightHistogram.from_sorted_values(rich_sample, K),
+        "sampled r=500": EquiHeightHistogram.from_sorted_values(poor_sample, K),
+    }
+
+
+def main() -> None:
+    dataset = make_dataset("zipf1", N, rng=SEED)
+    values = dataset.values
+    queries = random_range_queries(values, 500, rng=SEED + 1)
+
+    print(f"workload: 500 random range queries over {dataset.describe()}\n")
+    header = (
+        f"{'histogram':<22} {'max err f':>10} {'thm3 envelope':>14} "
+        f"{'measured max abs':>17} {'mean abs':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, hist in build_histograms(values).items():
+        f = max_error_fraction(hist.recount(values).counts)
+        envelope = bounds.theorem3_absolute_error(N, K, min(f, 1.0))
+        estimator = RangeSelectivityEstimator(hist, table_rows=N)
+        accuracy = evaluate_workload(estimator, values, queries)
+        print(
+            f"{name:<22} {f:>10.3f} {envelope:>14.0f} "
+            f"{accuracy.max_absolute_error:>17.0f} "
+            f"{accuracy.mean_absolute_error:>10.0f}"
+        )
+
+    # -- structure comparison on a hot value -----------------------------
+    print("\nhot-value probe (equality on the most frequent value):")
+    distinct, counts = np.unique(values, return_counts=True)
+    hot = float(distinct[counts.argmax()])
+    hot_count = int(counts.max())
+
+    equi_height = EquiHeightHistogram.from_sorted_values(values, K)
+    equi_width = EquiWidthHistogram.from_values(values, K)
+    compressed = CompressedHistogram.from_values(values, K)
+    for name, est in [
+        ("equi-height", equi_height.estimate_range(hot, hot)),
+        ("equi-width", equi_width.estimate_range(hot, hot)),
+        ("compressed", compressed.estimate_range(hot, hot)),
+    ]:
+        print(f"  {name:<12} estimate {est:>12,.0f}   (true {hot_count:,})")
+
+    print(
+        "\ntakeaway: the measured worst-case error tracks the max error "
+        "metric f, exactly as Theorem 3 promises; and compressed histograms "
+        "(Section 5) nail hot values that plain buckets smear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` (legacy editable mode) works offline.
+"""
+
+from setuptools import setup
+
+setup()

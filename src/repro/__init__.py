@@ -1,0 +1,102 @@
+"""repro — a full reproduction of Chaudhuri, Motwani & Narasayya,
+"Random Sampling for Histogram Construction: How much is enough?"
+(SIGMOD 1998).
+
+Public API tour
+---------------
+
+Histograms and error metrics (Section 2)::
+
+    from repro import EquiHeightHistogram, max_error_fraction
+    hist = EquiHeightHistogram.from_values(values, k=200)
+
+Sampling bounds (Section 3)::
+
+    from repro.core import bounds
+    r = bounds.corollary1_sample_size(n=10**7, k=500, f=0.2, gamma=0.01)
+
+Adaptive block sampling (Section 4)::
+
+    from repro import CVBSampler, CVBConfig, HeapFile
+    hf = HeapFile.from_values(values, layout="partial", rng=0)
+    result = CVBSampler(CVBConfig(k=200, f=0.1)).run(hf, rng=1)
+
+Distinct values (Section 6)::
+
+    from repro import GEEEstimator
+    d_hat = GEEEstimator().estimate_from_sample(sample, n)
+
+End-to-end (the SQL Server-shaped surface)::
+
+    from repro import Table, StatisticsManager
+    stats = StatisticsManager().analyze(table, "price", k=200, f=0.1, rng=0)
+    rows = stats.estimate_range(10, 99)
+"""
+
+from . import baselines, core, distinct, engine, experiments, sampling, storage, workloads
+from ._rng import ensure_rng, spawn_rngs
+from .core import (
+    CVBConfig,
+    CVBResult,
+    CVBSampler,
+    CompressedHistogram,
+    EquiHeightHistogram,
+    EquiWidthHistogram,
+    avg_error,
+    cvb_build,
+    fractional_max_error,
+    max_error,
+    max_error_fraction,
+    relative_deviation,
+    separation_error,
+    var_error,
+)
+from .distinct import FrequencyProfile, GEEEstimator, estimate_all, ratio_error, rel_error
+from .engine import ColumnStatistics, StatisticsManager, Table
+from .exceptions import ReproError
+from .storage import HeapFile, RecordSpec
+from .workloads import Dataset, RangeQuery, make_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "distinct",
+    "engine",
+    "experiments",
+    "sampling",
+    "storage",
+    "workloads",
+    "ensure_rng",
+    "spawn_rngs",
+    "CVBConfig",
+    "CVBResult",
+    "CVBSampler",
+    "CompressedHistogram",
+    "EquiHeightHistogram",
+    "EquiWidthHistogram",
+    "avg_error",
+    "cvb_build",
+    "fractional_max_error",
+    "max_error",
+    "max_error_fraction",
+    "relative_deviation",
+    "separation_error",
+    "var_error",
+    "FrequencyProfile",
+    "GEEEstimator",
+    "estimate_all",
+    "ratio_error",
+    "rel_error",
+    "ColumnStatistics",
+    "StatisticsManager",
+    "Table",
+    "ReproError",
+    "HeapFile",
+    "RecordSpec",
+    "Dataset",
+    "RangeQuery",
+    "make_dataset",
+    "__version__",
+]

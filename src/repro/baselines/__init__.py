@@ -1,0 +1,12 @@
+"""Baselines the paper compares against: GMP incremental maintenance [8]
+and Piatetsky-Shapiro/Connell single-query sampling [27]."""
+
+from .gmp import GMPHistogram
+from .psc import psc_count_estimate, psc_sample_size, psc_selectivity_estimate
+
+__all__ = [
+    "GMPHistogram",
+    "psc_count_estimate",
+    "psc_sample_size",
+    "psc_selectivity_estimate",
+]

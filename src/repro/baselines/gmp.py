@@ -1,0 +1,165 @@
+"""Gibbons-Matias-Poosala (GMP) style incremental histogram maintenance.
+
+The paper's closest prior work [8] keeps an approximate equi-depth histogram
+continuously up to date as tuples arrive, using
+
+- a **backing sample** maintained by reservoir sampling, and
+- a **split-and-recompute rule**: bucket counts are updated in place on each
+  insert, and when some bucket grows past a threshold ``(1 + tolerance) *
+  n/k``, the separators are recomputed from the backing sample.
+
+Its analytic guarantee (Theorem 6 of the paper) is evaluated by
+:func:`repro.core.bounds.gmp_theorem6`; this module supplies the *runnable*
+baseline so benchmarks can compare maintenance cost and achieved error
+against one-shot CVB construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..core.error_metrics import max_error_fraction
+from ..core.histogram import EquiHeightHistogram, equi_height_separators
+from ..exceptions import EmptyDataError, ParameterError
+
+__all__ = ["GMPHistogram"]
+
+
+class GMPHistogram:
+    """An incrementally maintained approximate equi-depth histogram.
+
+    Parameters
+    ----------
+    k:
+        Number of buckets.
+    backing_sample_size:
+        Reservoir capacity.  GMP's Theorem 6 sizes this as ``c*k*ln^2 k``;
+        callers are free to pick anything.
+    tolerance:
+        A bucket may grow to ``(1 + tolerance) * n/k`` before a recompute is
+        triggered.  GMP's recommended setting corresponds to small constant
+        tolerances; larger values trade accuracy for fewer recomputes.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backing_sample_size: int,
+        tolerance: float = 1.0,
+        rng: RngLike = None,
+    ):
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if backing_sample_size < k:
+            raise ParameterError(
+                f"backing sample ({backing_sample_size}) must hold at least "
+                f"k={k} values"
+            )
+        if tolerance <= 0:
+            raise ParameterError(f"tolerance must be positive, got {tolerance}")
+        self.k = int(k)
+        self.capacity = int(backing_sample_size)
+        self.tolerance = float(tolerance)
+        self._rng = ensure_rng(rng)
+        self._reservoir: list = []
+        self._seen = 0
+        self._separators: np.ndarray | None = None
+        self._counts = np.zeros(k, dtype=np.int64)
+        self._last_recompute_total = 0
+        self.recompute_count = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Tuples currently summarised."""
+        return int(self._counts.sum())
+
+    @property
+    def backing_sample(self) -> np.ndarray:
+        """Current reservoir contents (unordered)."""
+        return np.asarray(self._reservoir)
+
+    def insert(self, value) -> None:
+        """Observe one inserted tuple."""
+        self._reservoir_add(value)
+        if self._separators is None:
+            # Bootstrap: count everything in bucket 0 until first recompute.
+            self._counts[0] += 1
+            if self.total >= self.k:
+                self._recompute()
+            return
+        bucket = int(np.searchsorted(self._separators, value, side="left"))
+        self._counts[bucket] += 1
+        threshold = (1.0 + self.tolerance) * (self.total / self.k)
+        overflow = self._counts[bucket] > max(threshold, 1.0)
+        # Even without an overflow, stale separators must be refreshed as the
+        # relation grows (GMP recomputes whenever the backing sample has
+        # turned over substantially); doubling of the live total is the
+        # standard trigger.
+        grown = self.total >= 2 * self._last_recompute_total
+        if overflow or grown:
+            self._recompute()
+
+    def insert_many(self, values: np.ndarray) -> None:
+        """Observe a batch of inserts (order preserved)."""
+        for value in np.asarray(values):
+            self.insert(value)
+
+    def _reservoir_add(self, value) -> None:
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(value)
+            return
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.capacity:
+            self._reservoir[j] = value
+
+    def _recompute(self) -> None:
+        """Rebuild separators from the backing sample, redistribute counts.
+
+        The true per-bucket counts of live data are unknown after a
+        separator change; GMP approximates them as equal shares of the
+        running total, which is exactly what an equi-depth histogram
+        asserts.
+        """
+        if not self._reservoir:
+            raise EmptyDataError("cannot recompute from an empty backing sample")
+        sample = np.sort(np.asarray(self._reservoir))
+        self._separators = equi_height_separators(sample, self.k).astype(np.float64)
+        total = self.total
+        base = total // self.k
+        counts = np.full(self.k, base, dtype=np.int64)
+        counts[: total - base * self.k] += 1
+        self._counts = counts
+        self._last_recompute_total = total
+        self.recompute_count += 1
+
+    # ------------------------------------------------------------------
+    # Reading the histogram
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> EquiHeightHistogram:
+        """The current histogram as an :class:`EquiHeightHistogram`."""
+        if self._separators is None or not self._reservoir:
+            raise EmptyDataError("histogram not initialised yet (too few inserts)")
+        sample = np.asarray(self._reservoir)
+        return EquiHeightHistogram(
+            self._separators,
+            self._counts,
+            float(min(sample.min(), self._separators.min())),
+            float(max(sample.max(), self._separators.max())),
+        )
+
+    def achieved_error(self, sorted_values: np.ndarray) -> float:
+        """Fractional max error of the current separators against the full
+        (sorted) live data — for benchmark comparison with CVB."""
+        if self._separators is None:
+            raise EmptyDataError("histogram not initialised yet")
+        histogram = EquiHeightHistogram.from_separators(
+            self._separators, sorted_values
+        )
+        return max_error_fraction(histogram.counts)

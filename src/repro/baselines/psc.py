@@ -1,0 +1,49 @@
+"""Piatetsky-Shapiro & Connell style single-query selectivity sampling.
+
+The earliest sampling-for-statistics work the paper cites [27] answers a
+*given* query from a small sample: the fraction of sampled tuples matching
+the predicate estimates its selectivity, with a Hoeffding-style sample-size
+bound for a target additive error.  The contrast the paper draws
+(Section 1.1) is that a histogram must be accurate for *all* queries at
+once, which is why its bounds (Theorems 4-5) look different.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import EmptyDataError, ParameterError
+from ..workloads.queries import RangeQuery
+
+__all__ = ["psc_sample_size", "psc_selectivity_estimate", "psc_count_estimate"]
+
+
+def psc_sample_size(epsilon: float, gamma: float) -> int:
+    """Sample size for additive selectivity error *epsilon* w.p. ``1-gamma``.
+
+    Hoeffding bound for a Bernoulli mean: ``r >= ln(2/gamma) / (2*epsilon^2)``.
+    Note this is per *single* query; no bound on simultaneous accuracy over a
+    query class is implied.
+    """
+    if not 0 < epsilon < 1:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < gamma < 1:
+        raise ParameterError(f"gamma must be in (0, 1), got {gamma}")
+    return math.ceil(math.log(2.0 / gamma) / (2.0 * epsilon * epsilon))
+
+
+def psc_selectivity_estimate(sample: np.ndarray, query: RangeQuery) -> float:
+    """Fraction of *sample* matching *query* — the PSC selectivity estimate."""
+    sample = np.asarray(sample)
+    if sample.size == 0:
+        raise EmptyDataError("cannot estimate selectivity from an empty sample")
+    return float(query.selects(sample).mean())
+
+
+def psc_count_estimate(sample: np.ndarray, query: RangeQuery, n: int) -> float:
+    """PSC selectivity scaled to an output-size estimate for a table of *n*."""
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    return psc_selectivity_estimate(sample, query) * n

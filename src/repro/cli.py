@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands expose the library to shell users:
+
+``analyze``
+    Build sampled statistics for a column stored in a ``.npy`` / ``.csv``
+    / ``.txt`` file (one value per row, or pick a CSV column), print the
+    histogram, density and distinct-count statistics, and optionally
+    ``--save`` the bundle as JSON.
+
+``estimate``
+    Answer range / equality / distinct queries from a saved statistics
+    bundle — the optimizer's view, detached from the data.
+
+``plan``
+    The Corollary 1 planner: given any two of (sample size, bucket count,
+    error fraction), solve for the third.
+
+``demo``
+    Generate one of the paper's synthetic datasets and run the full
+    adaptive-sampling pipeline on it — a zero-setup tour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ._rng import ensure_rng
+from .core import bounds
+from .engine import StatisticsManager, Table
+from .exceptions import ReproError
+from .storage import LAYOUT_NAMES
+from .workloads import DATASET_NAMES, make_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Random Sampling for Histogram Construction (SIGMOD 1998) — "
+            "reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="build sampled statistics for a column file"
+    )
+    analyze.add_argument("path", help=".npy, .csv or .txt file with values")
+    analyze.add_argument(
+        "--column", type=int, default=0, help="CSV column index (default 0)"
+    )
+    analyze.add_argument("--k", type=int, default=100, help="histogram buckets")
+    analyze.add_argument(
+        "--f", type=float, default=0.2, help="target max error fraction"
+    )
+    analyze.add_argument("--gamma", type=float, default=0.01)
+    analyze.add_argument(
+        "--layout", choices=LAYOUT_NAMES, default="random",
+        help="simulated on-disk layout",
+    )
+    analyze.add_argument(
+        "--method", choices=("cvb", "record", "fullscan"), default="cvb"
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument(
+        "--show-buckets", type=int, default=0, metavar="N",
+        help="print the first N histogram buckets",
+    )
+    analyze.add_argument(
+        "--save", metavar="STATS.json",
+        help="write the statistics bundle to a JSON file",
+    )
+
+    plan = sub.add_parser("plan", help="Corollary 1 sample-size planning")
+    plan.add_argument("--n", type=int, required=True, help="table rows")
+    plan.add_argument("--k", type=int, help="histogram buckets")
+    plan.add_argument("--f", type=float, help="max error fraction")
+    plan.add_argument("--r", type=int, help="sample size budget")
+    plan.add_argument("--gamma", type=float, default=0.01)
+
+    estimate = sub.add_parser(
+        "estimate", help="answer queries from saved statistics"
+    )
+    estimate.add_argument("stats", help="statistics JSON from analyze --save")
+    estimate.add_argument(
+        "--range", nargs=2, type=float, metavar=("LO", "HI"),
+        help="estimate rows with LO <= value <= HI",
+    )
+    estimate.add_argument(
+        "--equals", type=float, metavar="V",
+        help="estimate rows with value = V",
+    )
+    estimate.add_argument(
+        "--distinct", action="store_true", help="print the distinct estimate"
+    )
+
+    demo = sub.add_parser("demo", help="run the pipeline on synthetic data")
+    demo.add_argument(
+        "dataset", nargs="?", default="zipf2", choices=DATASET_NAMES
+    )
+    demo.add_argument("--n", type=int, default=100_000)
+    demo.add_argument("--k", type=int, default=50)
+    demo.add_argument("--f", type=float, default=0.2)
+    demo.add_argument("--layout", choices=LAYOUT_NAMES, default="random")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_values(path: str, column: int) -> np.ndarray:
+    if path.endswith(".npy"):
+        values = np.load(path)
+    else:
+        delimiter = "," if path.endswith(".csv") else None
+        values = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+        if values.ndim == 2:
+            if not 0 <= column < values.shape[1]:
+                raise ReproError(
+                    f"column {column} out of range for {values.shape[1]}-column file"
+                )
+            values = values[:, column]
+    values = np.asarray(values).ravel()
+    if values.size == 0:
+        raise ReproError(f"no values found in {path}")
+    return values
+
+
+def _print_statistics(stats, show_buckets: int) -> None:
+    print(stats.summary())
+    print(f"converged: {stats.converged}")
+    print(f"histogram: k={stats.histogram.k}, "
+          f"range [{stats.histogram.min_value:g}, {stats.histogram.max_value:g}]")
+    if show_buckets:
+        for i, bucket in enumerate(stats.histogram.buckets()[:show_buckets]):
+            print(
+                f"  bucket {i:>3}: ({bucket.lo:g}, {bucket.hi:g}] "
+                f"count={bucket.count}"
+            )
+
+
+def _cmd_analyze(args) -> int:
+    values = _load_values(args.path, args.column)
+    table = Table("cli", {"value": values})
+    manager = StatisticsManager()
+    stats = manager.analyze(
+        table,
+        "value",
+        k=args.k,
+        f=args.f,
+        gamma=args.gamma,
+        method=args.method,
+        layout=args.layout,
+        rng=ensure_rng(args.seed),
+    )
+    _print_statistics(stats, args.show_buckets)
+    if args.save:
+        from .engine.serialization import statistics_to_json
+
+        with open(args.save, "w") as handle:
+            handle.write(statistics_to_json(stats))
+        print(f"statistics written to {args.save}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from .engine.serialization import statistics_from_json
+
+    with open(args.stats) as handle:
+        stats = statistics_from_json(handle.read())
+    print(stats.summary())
+    answered = False
+    if args.range is not None:
+        lo, hi = args.range
+        print(
+            f"rows with {lo:g} <= value <= {hi:g}: "
+            f"{stats.estimate_range(lo, hi):,.0f}"
+        )
+        answered = True
+    if args.equals is not None:
+        print(
+            f"rows with value = {args.equals:g}: "
+            f"{stats.estimate_equality(args.equals):,.1f}"
+        )
+        answered = True
+    if args.distinct:
+        print(f"distinct values: ~{stats.distinct_estimate:,.0f}")
+        answered = True
+    if not answered:
+        print("(no query given: pass --range, --equals and/or --distinct)")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    known = [name for name in ("k", "f", "r") if getattr(args, name) is not None]
+    if len(known) != 2:
+        print(
+            "plan needs exactly two of --k / --f / --r "
+            f"(got {len(known)}: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.r is None:
+        r = bounds.corollary1_sample_size(args.n, args.k, args.f, args.gamma)
+        print(f"required sample size r = {r:,} ({r / args.n:.2%} of rows)")
+    elif args.f is None:
+        f = bounds.corollary1_error_fraction(args.n, args.k, args.r, args.gamma)
+        print(f"guaranteed max error fraction f = {f:.4f} ({f:.1%})")
+    else:
+        k = bounds.corollary1_max_buckets(args.n, args.r, args.f, args.gamma)
+        print(f"maximum supported buckets k = {k}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    dataset = make_dataset(args.dataset, args.n, rng=args.seed)
+    print(dataset.describe())
+    table = Table("demo", {"value": dataset.values})
+    manager = StatisticsManager()
+    stats = manager.analyze(
+        table,
+        "value",
+        k=args.k,
+        f=args.f,
+        layout=args.layout,
+        rng=args.seed + 1,
+    )
+    _print_statistics(stats, show_buckets=0)
+    print(
+        f"true distinct: {dataset.num_distinct:,} "
+        f"(estimated {stats.distinct_estimate:,.0f})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "estimate": _cmd_estimate,
+        "plan": _cmd_plan,
+        "demo": _cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,91 @@
+"""Equi-width histograms — a structural baseline.
+
+Equi-width histograms split the observed value range into ``k`` equal-width
+intervals.  They are cheaper to build (no sorting required) but give no
+guarantee on bucket *counts*, which is why commercial optimizers — and this
+paper — prefer equi-height.  Included so benchmarks can show the contrast on
+skewed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EmptyDataError, ParameterError
+
+__all__ = ["EquiWidthHistogram"]
+
+
+class EquiWidthHistogram:
+    """A k-bucket equal-width histogram over ``[min_value, max_value]``."""
+
+    def __init__(self, edges: np.ndarray, counts: np.ndarray):
+        edges = np.asarray(edges, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if edges.size != counts.size + 1:
+            raise ParameterError(
+                f"{edges.size} edges do not fit {counts.size} buckets"
+            )
+        if (np.diff(edges) < 0).any():
+            raise ParameterError("edges must be non-decreasing")
+        if (counts < 0).any():
+            raise ParameterError("bucket counts must be non-negative")
+        self._edges = edges
+        self._counts = counts
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, k: int) -> "EquiWidthHistogram":
+        """Build over the observed range of *values*."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise EmptyDataError("cannot build a histogram over an empty value set")
+        lo, hi = float(values.min()), float(values.max())
+        if lo == hi:
+            edges = np.linspace(lo, lo + 1.0, k + 1)
+            counts = np.zeros(k, dtype=np.int64)
+            counts[0] = values.size
+            return cls(edges, counts)
+        edges = np.linspace(lo, hi, k + 1)
+        counts, _ = np.histogram(values, bins=edges)
+        return cls(edges, counts.astype(np.int64))
+
+    @property
+    def k(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def total(self) -> int:
+        return int(self._counts.sum())
+
+    def estimate_leq(self, value: float) -> float:
+        """Estimated number of values ``<= value`` (linear interpolation)."""
+        if value < self._edges[0]:
+            return 0.0
+        if value >= self._edges[-1]:
+            return float(self.total)
+        j = int(np.searchsorted(self._edges, value, side="right")) - 1
+        j = min(j, self.k - 1)
+        below = float(self._counts[:j].sum())
+        lo, hi = self._edges[j], self._edges[j + 1]
+        if hi > lo:
+            below += float(self._counts[j]) * (value - lo) / (hi - lo)
+        return below
+
+    def estimate_range(self, lo: float, hi: float) -> float:
+        """Estimated count of values in ``[lo, hi]``."""
+        if lo > hi:
+            raise ParameterError(f"need lo <= hi, got [{lo}, {hi}]")
+        return max(0.0, self.estimate_leq(hi) - self.estimate_leq(lo))
+
+    def __repr__(self) -> str:
+        return f"EquiWidthHistogram(k={self.k}, total={self.total})"

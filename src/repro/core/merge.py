@@ -1,0 +1,126 @@
+"""Merging equi-height histograms.
+
+Engines need this for partitioned tables: each partition is ANALYZEd
+separately (possibly on different nodes), and the optimizer wants one
+histogram for the whole table.  Exactly merging is impossible from the
+summaries alone; the standard approximation implemented here is:
+
+1. take the union of both histograms' separators (plus extrema) as a fine
+   partition of the merged domain,
+2. apportion each input histogram's counts onto that partition with its own
+   interpolation rules (so EQ_ROWS point masses stay points),
+3. re-bucket the summed fine counts into ``k`` equi-height buckets.
+
+The result is exact wherever the inputs were exact at their own separators,
+and the interpolation error inside buckets is bounded by the inputs'
+within-bucket resolution — the same uniformity assumption range estimation
+already makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .histogram import EquiHeightHistogram
+
+__all__ = ["merge_equi_height"]
+
+
+def merge_equi_height(
+    left: EquiHeightHistogram,
+    right: EquiHeightHistogram,
+    k: int | None = None,
+) -> EquiHeightHistogram:
+    """Merge two equi-height histograms into one k-bucket histogram.
+
+    Parameters
+    ----------
+    left, right:
+        Histograms over the same attribute (e.g. two partitions).  Their
+        value ranges may overlap arbitrarily or be disjoint.
+    k:
+        Bucket count for the result; defaults to ``max(left.k, right.k)``.
+    """
+    if k is None:
+        k = max(left.k, right.k)
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+
+    lo = min(left.min_value, right.min_value)
+    hi = max(left.max_value, right.max_value)
+    cuts = np.unique(
+        np.concatenate(
+            (
+                [lo, hi],
+                left.separators,
+                right.separators,
+                [left.min_value, left.max_value],
+                [right.min_value, right.max_value],
+            )
+        )
+    )
+
+    # Fine-grained mass per cut interval (a, b], from both inputs, keeping
+    # point mass on cut values where the inputs know it (EQ_ROWS).
+    fine_counts = np.zeros(cuts.size, dtype=np.float64)  # mass ending AT cuts[i]
+    for hist in (left, right):
+        prev = hist.estimate_lt(float(cuts[0]))
+        # Mass exactly at the first cut:
+        fine_counts[0] += hist.estimate_leq(float(cuts[0])) - prev
+        for i in range(1, cuts.size):
+            below = hist.estimate_leq(float(cuts[i]))
+            start = hist.estimate_leq(float(cuts[i - 1]))
+            fine_counts[i] += max(0.0, below - start)
+
+    total = left.total + right.total
+    fine_counts *= total / max(fine_counts.sum(), 1e-12)
+
+    # Re-bucket: walk the fine partition accumulating mass, placing a
+    # separator whenever the running mass crosses the next multiple of
+    # total/k.  Each cut value is a legitimate separator candidate (it was
+    # a separator or extremum of an input).
+    target = total / k
+    separators: list[float] = []
+    running = 0.0
+    for i in range(cuts.size - 1):
+        running += fine_counts[i]
+        while len(separators) < k - 1 and running >= target * (
+            len(separators) + 1
+        ):
+            separators.append(float(cuts[i]))
+    while len(separators) < k - 1:
+        separators.append(float(cuts[-1]))
+
+    sep_array = np.asarray(separators, dtype=np.float64)
+
+    # Final counts: mass of (s_{j-1}, s_j] under the fine partition.
+    cum_fine = np.cumsum(fine_counts)
+
+    def mass_leq(x: float) -> float:
+        idx = int(np.searchsorted(cuts, x, side="right")) - 1
+        return float(cum_fine[idx]) if idx >= 0 else 0.0
+
+    bucket_edges = [mass_leq(s) for s in sep_array]
+    edges = np.concatenate(([0.0], bucket_edges, [total]))
+    counts = np.maximum(0, np.round(np.diff(edges))).astype(np.int64)
+    shortfall = total - int(counts.sum())
+    if shortfall != 0 and counts.size:
+        counts[-1] = max(0, counts[-1] + shortfall)
+
+    # Carry over eq mass for separators both inputs can attest to.
+    eq = np.zeros(sep_array.size, dtype=np.float64)
+    for hist in (left, right):
+        for j, s in enumerate(sep_array):
+            eq[j] += hist.estimate_leq(float(s)) - hist.estimate_lt(float(s))
+    eq_counts = np.minimum(
+        np.round(eq).astype(np.int64), np.maximum(counts[:-1], 0)
+    )
+
+    return EquiHeightHistogram(
+        sep_array,
+        counts,
+        min_value=lo,
+        max_value=hi,
+        eq_counts=eq_counts,
+    )

@@ -1,0 +1,55 @@
+"""Distinct-value estimation (Section 6): the GEE estimator, classical
+baselines, error metrics, and the Theorem 8 lower-bound construction."""
+
+from .bounds import (
+    AdversarialPair,
+    adversarial_pair,
+    collision_probability,
+    empirical_collision_free_rate,
+    forced_ratio_error,
+)
+from .estimators import (
+    ALL_ESTIMATORS,
+    BootstrapEstimator,
+    ChaoEstimator,
+    ChaoLeeEstimator,
+    DistinctValueEstimator,
+    FiniteJackknifeEstimator,
+    GEEEstimator,
+    GoodmanEstimator,
+    HybridEstimator,
+    JackknifeEstimator,
+    NaiveEstimator,
+    ScaleUpEstimator,
+    SecondOrderJackknifeEstimator,
+    ShlosserEstimator,
+    estimate_all,
+)
+from .frequency import FrequencyProfile
+from .metrics import ratio_error, rel_error
+
+__all__ = [
+    "AdversarialPair",
+    "adversarial_pair",
+    "collision_probability",
+    "empirical_collision_free_rate",
+    "forced_ratio_error",
+    "ALL_ESTIMATORS",
+    "BootstrapEstimator",
+    "ChaoEstimator",
+    "ChaoLeeEstimator",
+    "DistinctValueEstimator",
+    "FiniteJackknifeEstimator",
+    "GEEEstimator",
+    "GoodmanEstimator",
+    "HybridEstimator",
+    "JackknifeEstimator",
+    "NaiveEstimator",
+    "ScaleUpEstimator",
+    "SecondOrderJackknifeEstimator",
+    "ShlosserEstimator",
+    "estimate_all",
+    "FrequencyProfile",
+    "ratio_error",
+    "rel_error",
+]

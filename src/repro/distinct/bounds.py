@@ -1,0 +1,161 @@
+"""The Theorem 8 lower bound, made executable.
+
+Theorem 8 states that for any estimator of the number of distinct values
+based on a sample of size ``r`` from ``n`` tuples, some relation forces ratio
+error at least ``sqrt(n*ln(1/gamma)/r)`` with probability ``gamma``.
+
+The proof strategy is an indistinguishability argument, which this module
+materialises so benchmarks can *demonstrate* the bound: build two relations
+
+- **high**: all ``n`` values distinct (``d = n``), and
+- **low**: ``d = n/m`` distinct values, each duplicated ``m`` times,
+
+with the duplication factor ``m`` tuned so that a size-``r`` sample from the
+*low* relation contains no repeated value with probability at least
+``gamma``.  Conditioned on that event, the two samples are statistically
+identical (a set of ``r`` fresh values either way), so any estimator returns
+the same answer on both — and one of the two truths (``n`` vs ``n/m``) is
+off from that answer by a ratio of at least ``sqrt(m)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+from .estimators import DistinctValueEstimator
+from .metrics import ratio_error
+
+__all__ = [
+    "AdversarialPair",
+    "adversarial_pair",
+    "collision_probability",
+    "empirical_collision_free_rate",
+    "forced_ratio_error",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialPair:
+    """The two indistinguishable relations of the Theorem 8 construction.
+
+    Attributes
+    ----------
+    high_values / low_values:
+        The two relations (same size ``n``); ``high`` is duplicate-free,
+        ``low`` has ``duplication`` copies of each of its distinct values.
+    duplication:
+        The multiplicity ``m``.
+    guaranteed_ratio:
+        ``sqrt(high_distinct / low_distinct)`` — the ratio error *some*
+        estimator answer must incur on one of the two relations whenever
+        the sample is collision-free.
+    """
+
+    high_values: np.ndarray
+    low_values: np.ndarray
+    duplication: int
+    r: int
+    gamma: float
+
+    @property
+    def n(self) -> int:
+        return int(self.high_values.size)
+
+    @property
+    def high_distinct(self) -> int:
+        return int(np.unique(self.high_values).size)
+
+    @property
+    def low_distinct(self) -> int:
+        return int(np.unique(self.low_values).size)
+
+    @property
+    def guaranteed_ratio(self) -> float:
+        return math.sqrt(self.high_distinct / self.low_distinct)
+
+
+def collision_probability(n: int, r: int, m: int) -> float:
+    """Upper bound on the probability that a with-replacement sample of size
+    *r* from the *low* relation repeats a value.
+
+    Any two draws collide in value with probability ``m/n`` (same underlying
+    distinct value); union over the ``r*(r-1)/2`` pairs gives
+    ``r^2 * m / (2n)``.
+    """
+    if n <= 0 or r <= 0 or m <= 0:
+        raise ParameterError("n, r and m must all be positive")
+    return min(1.0, r * (r - 1) * m / (2.0 * n))
+
+
+def adversarial_pair(n: int, r: int, gamma: float) -> AdversarialPair:
+    """Construct the hardest (high, low) relation pair for sample size *r*.
+
+    Chooses the largest duplication ``m`` with collision probability at most
+    ``1 - gamma``, so a collision-free (hence uninformative) sample occurs
+    with probability at least ``gamma``.
+    """
+    if not 0 < gamma < 1:
+        raise ParameterError(f"gamma must be in (0, 1), got {gamma}")
+    if n <= 0 or r <= 0:
+        raise ParameterError("n and r must be positive")
+    if r * (r - 1) == 0:
+        m = n
+    else:
+        m = int(2.0 * (1.0 - gamma) * n / (r * (r - 1)))
+    m = max(1, min(m, n))
+    # Make n divisible cleanly: trim the last partial group into full groups.
+    d_low = max(1, n // m)
+    counts = np.full(d_low, m, dtype=np.int64)
+    counts[: n - d_low * m] += 1  # distribute the remainder
+    low = np.repeat(np.arange(1, d_low + 1, dtype=np.int64), counts)
+    high = np.arange(1, n + 1, dtype=np.int64)
+    return AdversarialPair(
+        high_values=high, low_values=low, duplication=m, r=r, gamma=gamma
+    )
+
+
+def empirical_collision_free_rate(
+    pair: AdversarialPair, trials: int, rng: RngLike = None
+) -> float:
+    """Fraction of *trials* in which a size-``r`` sample from the low
+    relation shows no repeated value (i.e. is indistinguishable from a
+    sample of the high relation)."""
+    if trials <= 0:
+        raise ParameterError(f"trials must be positive, got {trials}")
+    generator = ensure_rng(rng)
+    low = pair.low_values
+    hits = 0
+    for _ in range(trials):
+        sample = low[generator.integers(0, low.size, size=pair.r)]
+        if np.unique(sample).size == sample.size:
+            hits += 1
+    return hits / trials
+
+
+def forced_ratio_error(
+    pair: AdversarialPair,
+    estimator: DistinctValueEstimator,
+    rng: RngLike = None,
+) -> float:
+    """The larger of the estimator's ratio errors on the two relations,
+    using one size-``r`` sample from each.
+
+    When the low sample happens to be collision-free this is guaranteed to
+    be at least ``pair.guaranteed_ratio`` *for one of the two relations* —
+    the executable content of Theorem 8.
+    """
+    generator = ensure_rng(rng)
+    errors = []
+    for values, d_true in (
+        (pair.high_values, pair.high_distinct),
+        (pair.low_values, pair.low_distinct),
+    ):
+        sample = values[generator.integers(0, values.size, size=pair.r)]
+        estimate = estimator.estimate_from_sample(sample, pair.n)
+        errors.append(ratio_error(estimate, d_true))
+    return max(errors)

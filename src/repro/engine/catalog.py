@@ -1,0 +1,58 @@
+"""Statistics catalog: the registry ANALYZE writes and the optimizer reads."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..exceptions import StatisticsNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .statistics import ColumnStatistics
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """In-memory map of ``(table, column) -> ColumnStatistics``.
+
+    Re-analyzing a column replaces the prior entry; the catalog keeps a
+    monotonically increasing version per key so callers can detect refreshes.
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple[str, str], "ColumnStatistics"] = {}
+        self._versions: dict[tuple[str, str], int] = {}
+
+    def put(self, statistics: "ColumnStatistics") -> int:
+        """Store (or replace) statistics; returns the new version number."""
+        key = (statistics.table_name, statistics.column_name)
+        self._entries[key] = statistics
+        self._versions[key] = self._versions.get(key, 0) + 1
+        return self._versions[key]
+
+    def get(self, table_name: str, column_name: str) -> "ColumnStatistics":
+        key = (table_name, column_name)
+        if key not in self._entries:
+            raise StatisticsNotFoundError(
+                f"no statistics for {table_name}.{column_name}; run analyze first"
+            )
+        return self._entries[key]
+
+    def version(self, table_name: str, column_name: str) -> int:
+        """How many times this column has been analyzed (0 = never)."""
+        return self._versions.get((table_name, column_name), 0)
+
+    def drop(self, table_name: str, column_name: str) -> None:
+        """Remove statistics for one column (idempotent)."""
+        key = (table_name, column_name)
+        self._entries.pop(key, None)
+
+    def keys(self) -> list[tuple[str, str]]:
+        """All (table, column) pairs with statistics, sorted."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries

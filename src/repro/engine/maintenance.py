@@ -1,0 +1,133 @@
+"""Statistics staleness tracking and refresh policy.
+
+The paper's closest prior work (GMP [8]) keeps histograms fresh by paying
+per-insert maintenance; the paper's own stance — and what SQL Server ships —
+is cheaper: rebuild by sampling when enough of the table has changed.  This
+module supplies that policy glue:
+
+- :class:`ModificationCounter` tracks inserts/updates/deletes per column,
+- :class:`RefreshPolicy` decides when statistics are stale (SQL Server's
+  classic rule: a refresh after ~20% of rows changed, with a 500-row floor),
+- :class:`AutoStatistics` wires both to a :class:`StatisticsManager` so that
+  ``ensure_fresh`` transparently re-runs the CVB build when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._rng import RngLike
+from ..exceptions import ParameterError
+from .statistics import ColumnStatistics, StatisticsManager
+from .table import Table
+
+__all__ = ["ModificationCounter", "RefreshPolicy", "AutoStatistics"]
+
+
+class ModificationCounter:
+    """Counts row modifications per (table, column) since the last refresh."""
+
+    def __init__(self):
+        self._counts: dict[tuple[str, str], int] = {}
+
+    def record(self, table_name: str, column_name: str, rows: int = 1) -> None:
+        """Register *rows* modified rows (insert, update or delete alike)."""
+        if rows < 0:
+            raise ParameterError(f"rows must be non-negative, got {rows}")
+        key = (table_name, column_name)
+        self._counts[key] = self._counts.get(key, 0) + rows
+
+    def since_refresh(self, table_name: str, column_name: str) -> int:
+        return self._counts.get((table_name, column_name), 0)
+
+    def reset(self, table_name: str, column_name: str) -> None:
+        self._counts.pop((table_name, column_name), None)
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When do statistics count as stale?
+
+    The default mirrors SQL Server's long-standing auto-update rule:
+    stale once ``max(floor_rows, fraction * n)`` modifications accumulate.
+    """
+
+    fraction: float = 0.20
+    floor_rows: int = 500
+
+    def __post_init__(self):
+        if not 0 < self.fraction <= 1:
+            raise ParameterError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.floor_rows < 0:
+            raise ParameterError(
+                f"floor_rows must be non-negative, got {self.floor_rows}"
+            )
+
+    def threshold(self, n: int) -> int:
+        """Modifications after which statistics over *n* rows are stale."""
+        if n < 0:
+            raise ParameterError(f"n must be non-negative, got {n}")
+        return max(self.floor_rows, int(self.fraction * n))
+
+    def is_stale(self, statistics: ColumnStatistics, modified: int) -> bool:
+        return modified >= self.threshold(statistics.n)
+
+
+class AutoStatistics:
+    """Auto-refreshing statistics frontend.
+
+    Wraps a :class:`StatisticsManager`: reads go through ``ensure_fresh``,
+    which rebuilds (with the remembered ANALYZE parameters) when the
+    modification counter crosses the policy threshold.
+    """
+
+    def __init__(
+        self,
+        manager: StatisticsManager | None = None,
+        policy: RefreshPolicy | None = None,
+    ):
+        self.manager = manager or StatisticsManager()
+        self.policy = policy or RefreshPolicy()
+        self.modifications = ModificationCounter()
+        self.refresh_count = 0
+
+    def analyze(
+        self, table: Table, column_name: str, rng: RngLike = None, **params
+    ) -> ColumnStatistics:
+        """Initial ANALYZE; remembers *params* for later auto-refreshes."""
+        stats = self.manager.analyze(table, column_name, rng=rng, **params)
+        self.modifications.reset(table.name, column_name)
+        return stats
+
+    def record_modifications(
+        self, table_name: str, column_name: str, rows: int
+    ) -> None:
+        """Report that *rows* rows of the column changed."""
+        self.modifications.record(table_name, column_name, rows)
+
+    def is_stale(self, table_name: str, column_name: str) -> bool:
+        stats = self.manager.statistics(table_name, column_name)
+        modified = self.modifications.since_refresh(table_name, column_name)
+        return self.policy.is_stale(stats, modified)
+
+    def ensure_fresh(
+        self, table: Table, column_name: str, rng: RngLike = None
+    ) -> ColumnStatistics:
+        """Return current statistics, rebuilding first if they are stale.
+
+        The rebuild re-runs ANALYZE against the table's *current* column
+        contents with the parameters of the previous build.
+        """
+        stats = self.manager.statistics(table.name, column_name)
+        if not self.is_stale(table.name, column_name):
+            return stats
+        params = dict(stats.build_params)
+        params.setdefault("k", stats.histogram.k)
+        refreshed = self.manager.analyze(
+            table, column_name, method=stats.method, rng=rng, **params
+        )
+        self.modifications.reset(table.name, column_name)
+        self.refresh_count += 1
+        return refreshed

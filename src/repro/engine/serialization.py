@@ -1,0 +1,113 @@
+"""Catalog persistence: (de)serialising ColumnStatistics bundles.
+
+Statistics are only useful if the optimizer can read them later (and on
+another node): this module round-trips the full
+:class:`~repro.engine.statistics.ColumnStatistics` bundle — histogram
+(via :mod:`repro.core.serialization`), densities, distinct estimate, build
+provenance — through JSON-safe dicts.  The raw sample and CVB trace are
+deliberately *not* persisted: real catalogs store the derived statistics,
+not the sample (SQL Server's stats blob works the same way).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.serialization import histogram_from_dict, histogram_to_dict
+from ..exceptions import ParameterError
+from .catalog import Catalog
+from .statistics import ColumnStatistics
+
+__all__ = [
+    "statistics_to_dict",
+    "statistics_from_dict",
+    "statistics_to_json",
+    "statistics_from_json",
+    "dump_catalog",
+    "load_catalog",
+]
+
+_FORMAT_VERSION = 1
+
+
+def statistics_to_dict(statistics: ColumnStatistics) -> dict:
+    """JSON-safe dict form of a statistics bundle (sample/trace dropped)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "table_name": statistics.table_name,
+        "column_name": statistics.column_name,
+        "n": statistics.n,
+        "histogram": histogram_to_dict(statistics.histogram),
+        "density": statistics.density,
+        "selfjoin_density": statistics.selfjoin_density,
+        "distinct_estimate": statistics.distinct_estimate,
+        "method": statistics.method,
+        "sample_size": statistics.sample_size,
+        "pages_read": statistics.pages_read,
+        "converged": statistics.converged,
+        "build_params": dict(statistics.build_params),
+    }
+
+
+def statistics_from_dict(payload: dict) -> ColumnStatistics:
+    """Rebuild a bundle serialised by :func:`statistics_to_dict`."""
+    if not isinstance(payload, dict):
+        raise ParameterError("payload is not a serialised statistics bundle")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported statistics format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        return ColumnStatistics(
+            table_name=payload["table_name"],
+            column_name=payload["column_name"],
+            n=int(payload["n"]),
+            histogram=histogram_from_dict(payload["histogram"]),
+            density=float(payload["density"]),
+            selfjoin_density=float(payload["selfjoin_density"]),
+            distinct_estimate=float(payload["distinct_estimate"]),
+            method=payload["method"],
+            sample_size=int(payload["sample_size"]),
+            pages_read=int(payload["pages_read"]),
+            converged=bool(payload["converged"]),
+            build_params=dict(payload.get("build_params", {})),
+        )
+    except KeyError as exc:
+        raise ParameterError(f"statistics payload missing field {exc}") from exc
+
+
+def statistics_to_json(statistics: ColumnStatistics) -> str:
+    return json.dumps(statistics_to_dict(statistics))
+
+
+def statistics_from_json(text: str) -> ColumnStatistics:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"invalid statistics JSON: {exc}") from exc
+    return statistics_from_dict(payload)
+
+
+def dump_catalog(catalog: Catalog) -> str:
+    """Serialise every bundle in *catalog* to one JSON document."""
+    entries = [
+        statistics_to_dict(catalog.get(table, column))
+        for table, column in catalog.keys()
+    ]
+    return json.dumps({"format_version": _FORMAT_VERSION, "entries": entries})
+
+
+def load_catalog(text: str) -> Catalog:
+    """Rebuild a catalog serialised by :func:`dump_catalog`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"invalid catalog JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ParameterError("payload is not a serialised catalog")
+    catalog = Catalog()
+    for entry in payload["entries"]:
+        catalog.put(statistics_from_dict(entry))
+    return catalog

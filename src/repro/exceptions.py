@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Input
+validation errors derive from :class:`ParameterError`, which itself derives
+from :class:`ValueError` so that idiomatic ``except ValueError`` code keeps
+working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "EmptyDataError",
+    "InfeasibleBoundError",
+    "ConvergenceError",
+    "StorageError",
+    "PageFullError",
+    "UnknownLayoutError",
+    "CatalogError",
+    "StatisticsNotFoundError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A caller supplied an invalid parameter value.
+
+    Raised, for example, when a histogram is requested with ``k <= 0`` or a
+    sampling bound is evaluated with an error fraction outside ``(0, 1]``.
+    """
+
+
+class EmptyDataError(ParameterError):
+    """An operation that needs data was given an empty value set or sample."""
+
+
+class InfeasibleBoundError(ReproError):
+    """A sampling bound cannot be satisfied with the given parameters.
+
+    For example, Corollary 1 may prescribe a sample size larger than the
+    relation itself, or the Gibbons-Matias-Poosala bound may be undefined for
+    the requested error fraction (see Example 4 of the paper).
+    """
+
+
+class ConvergenceError(ReproError):
+    """The adaptive sampling loop failed to converge within its budget.
+
+    Carries the partially built histogram and the trace of cross-validation
+    iterations so callers can inspect (or accept) the best-effort result.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class StorageError(ReproError):
+    """Base class for errors in the storage simulator."""
+
+
+class PageFullError(StorageError):
+    """A record was appended to a page that has no free slot."""
+
+
+class UnknownLayoutError(StorageError, ValueError):
+    """A heap file was requested with an unrecognised layout name."""
+
+
+class CatalogError(ReproError):
+    """Base class for errors raised by the engine catalog."""
+
+
+class StatisticsNotFoundError(CatalogError, KeyError):
+    """Statistics were requested for a column that has not been analyzed."""

@@ -1,0 +1,118 @@
+"""Experiment scaling.
+
+The paper's testbed used tables of 5-20 million rows and 600-bucket
+histograms.  The reproduction's default scale is smaller so the full
+benchmark suite runs in minutes on a laptop; the paper's own central result
+(Corollary 1: required sample size is essentially independent of ``n``)
+is exactly why the shapes survive scaling.  Set the environment variable
+``REPRO_SCALE=paper`` to run at paper scale.
+
+Every figure benchmark reads its parameters from :func:`get_scale` so the
+whole suite scales together.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Parameter bundle shared by the figure benchmarks.
+
+    Attributes
+    ----------
+    n:
+        Default table size (rows) for single-table figures.
+    n_sweep:
+        Table sizes for the "varying the number of records" figures (3, 4).
+    k:
+        Default histogram bucket count (paper: 600).
+    bins_sweep:
+        Bucket counts for Figure 6 (paper: 50..600).
+    blocking_factor:
+        Default records per page.
+    record_sizes:
+        Record sizes for Figure 8 (paper: 16..128 bytes).
+    trials:
+        Random repetitions averaged per measured point.
+    rates:
+        Sampling-rate grid for error-vs-rate figures (5, 7, 9-12).
+    f_target:
+        Max-error target for the "sampling required" figures (3, 4, 8).
+        Chosen per scale so the cross-validation test can certify it well
+        below a full scan: a reliable pass needs validation increments of
+        roughly ``10*k/f^2`` tuples, so smaller tables get a coarser target
+        (the paper's 0.1 at n = 10M, k = 600 sits in the same regime).
+    f_bins:
+        Max-error target for the bins sweep of Figure 6 (paper: 0.2).
+    """
+
+    name: str
+    n: int
+    n_sweep: tuple[int, ...]
+    k: int
+    bins_sweep: tuple[int, ...]
+    blocking_factor: int
+    record_sizes: tuple[int, ...]
+    trials: int
+    rates: tuple[float, ...]
+    f_target: float
+    f_bins: float
+
+
+SCALES = {
+    "small": ExperimentScale(
+        name="small",
+        n=200_000,
+        n_sweep=(100_000, 200_000, 300_000, 400_000),
+        k=50,
+        bins_sweep=(10, 20, 40, 80),
+        blocking_factor=50,
+        record_sizes=(16, 32, 64, 128),
+        trials=3,
+        rates=(0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4),
+        f_target=0.15,
+        f_bins=0.25,
+    ),
+    "medium": ExperimentScale(
+        name="medium",
+        n=1_000_000,
+        n_sweep=(500_000, 1_000_000, 1_500_000, 2_000_000),
+        k=100,
+        bins_sweep=(25, 50, 100, 200),
+        blocking_factor=100,
+        record_sizes=(16, 32, 64, 128),
+        trials=3,
+        rates=(0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2),
+        f_target=0.12,
+        f_bins=0.2,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n=10_000_000,
+        n_sweep=(5_000_000, 10_000_000, 15_000_000, 20_000_000),
+        k=600,
+        bins_sweep=(50, 100, 200, 400, 600),
+        blocking_factor=100,
+        record_sizes=(16, 32, 64, 128),
+        trials=3,
+        rates=(0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
+        f_target=0.1,
+        f_bins=0.2,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve the experiment scale: explicit name, else ``$REPRO_SCALE``,
+    else ``small``."""
+    resolved = name or os.environ.get("REPRO_SCALE", "small")
+    if resolved not in SCALES:
+        raise KeyError(
+            f"unknown scale {resolved!r}; choose one of {sorted(SCALES)}"
+        )
+    return SCALES[resolved]

@@ -1,0 +1,150 @@
+"""Block-level (page-level) random sampling.
+
+Block sampling reads whole pages and uses every tuple on them, amortising one
+page read over ``b`` tuples.  Its statistical efficiency depends on how
+correlated the tuples within a page are — which is exactly what the CVB
+algorithm (:mod:`repro.core.adaptive`) adapts to.
+
+:class:`BlockSampleStream` is the incremental access path CVB uses: it hands
+out successive batches of previously unsampled pages, so the accumulated
+sample is a uniform page sample without replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+from ..storage.heapfile import HeapFile
+
+__all__ = ["sample_block_ids", "sample_blocks", "BlockSampleStream"]
+
+
+def sample_block_ids(
+    num_pages: int,
+    count: int,
+    rng: RngLike = None,
+    with_replacement: bool = False,
+) -> np.ndarray:
+    """*count* page ids drawn uniformly from ``[0, num_pages)``."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    if num_pages <= 0 and count > 0:
+        raise ParameterError("cannot sample pages from an empty file")
+    generator = ensure_rng(rng)
+    if with_replacement:
+        return generator.integers(0, num_pages, size=count)
+    if count > num_pages:
+        raise ParameterError(
+            f"cannot draw {count} pages without replacement from {num_pages}"
+        )
+    return generator.choice(num_pages, size=count, replace=False)
+
+
+def sample_blocks(
+    heapfile: HeapFile,
+    num_blocks: int,
+    rng: RngLike = None,
+    with_replacement: bool = False,
+) -> np.ndarray:
+    """All tuples from *num_blocks* uniformly sampled pages."""
+    page_ids = sample_block_ids(
+        heapfile.num_pages, num_blocks, rng, with_replacement
+    )
+    return heapfile.read_pages(page_ids)
+
+
+class BlockSampleStream:
+    """Incremental uniform page sampling without replacement.
+
+    Pages are pre-shuffled once; successive :meth:`take` calls consume the
+    shuffled order, so the union of all batches taken so far is always a
+    uniform sample of pages.  Page reads are charged to the heap file's
+    :class:`~repro.storage.iostats.IOStats` as batches are taken.
+
+    Pass *exclude* to sample only from pages not already consumed by an
+    earlier stream — the resume path of
+    :meth:`repro.core.adaptive.CVBSampler.refine`.
+    """
+
+    def __init__(
+        self,
+        heapfile: HeapFile,
+        rng: RngLike = None,
+        exclude: np.ndarray | None = None,
+    ):
+        self._file = heapfile
+        generator = ensure_rng(rng)
+        if exclude is None or len(exclude) == 0:
+            candidates = np.arange(heapfile.num_pages)
+        else:
+            mask = np.ones(heapfile.num_pages, dtype=bool)
+            mask[np.asarray(exclude, dtype=np.int64)] = False
+            candidates = np.flatnonzero(mask)
+        self._order = candidates[generator.permutation(candidates.size)]
+        self._cursor = 0
+
+    @property
+    def pages_remaining(self) -> int:
+        """Pages not yet handed out."""
+        return int(self._order.size - self._cursor)
+
+    @property
+    def pages_taken(self) -> int:
+        """Pages handed out so far."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every candidate page has been sampled."""
+        return self._cursor >= self._order.size
+
+    @property
+    def taken_ids(self) -> np.ndarray:
+        """Page ids handed out so far, in sampling order."""
+        return self._order[: self._cursor].copy()
+
+    def take(self, num_blocks: int) -> np.ndarray:
+        """Values from the next *num_blocks* sampled pages.
+
+        Returns fewer tuples when the file runs out of unsampled pages (the
+        degenerate case where adaptive sampling has scanned the whole table).
+        """
+        if num_blocks < 0:
+            raise ParameterError(
+                f"num_blocks must be non-negative, got {num_blocks}"
+            )
+        take_ids = self._order[self._cursor : self._cursor + num_blocks]
+        self._cursor += take_ids.size
+        return self._file.read_pages(take_ids)
+
+    def take_one_tuple_per_block(
+        self, num_blocks: int, rng: RngLike = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Next *num_blocks* pages, plus one random tuple from each.
+
+        Implements the cross-validation "twist" of Section 4.2: validate with
+        a single randomly chosen tuple per sampled block (eliminating
+        intra-block correlation from the validation signal) while still
+        returning the full pages for the histogram merge.
+
+        Returns ``(all_tuples, one_per_block)``.
+        """
+        generator = ensure_rng(rng)
+        take_ids = self._order[self._cursor : self._cursor + num_blocks]
+        self._cursor += take_ids.size
+        full_chunks = []
+        representatives = []
+        for pid in take_ids:
+            payload = self._file.read_page(int(pid))
+            full_chunks.append(payload)
+            if payload.size:
+                representatives.append(
+                    payload[int(generator.integers(0, payload.size))]
+                )
+        if full_chunks:
+            all_tuples = np.concatenate(full_chunks)
+        else:
+            all_tuples = self._file.read_pages([])
+        return all_tuples, np.asarray(representatives)

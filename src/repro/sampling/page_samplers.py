@@ -1,0 +1,63 @@
+"""Alternative page-sampling strategies, for comparison with uniform
+block sampling.
+
+SQL Server 7.0's native facility samples "a percentage of the file"
+(Section 7.1); two common implementations are modelled here, with their
+known failure modes demonstrable in benchmarks:
+
+- :func:`bernoulli_page_sample` — keep each page independently with
+  probability p (the TABLESAMPLE SYSTEM flavour): unbiased, but the sample
+  size is random.
+- :func:`systematic_page_sample` — every j-th page from a random start:
+  sequential I/O friendly, but *biased* whenever the layout is periodic or
+  sorted (the stride can align with on-disk structure).
+
+Both charge page reads through the heap file's I/O accounting, like every
+other access path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+from ..storage.heapfile import HeapFile
+
+__all__ = ["bernoulli_page_sample", "systematic_page_sample"]
+
+
+def bernoulli_page_sample(
+    heapfile: HeapFile, p: float, rng: RngLike = None
+) -> np.ndarray:
+    """All tuples from pages kept independently with probability *p*.
+
+    The expected number of pages read is ``p * num_pages``; the realised
+    count is binomial.  Equivalent in distribution to uniform block sampling
+    with a random size, so all block-sampling analysis applies.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    generator = ensure_rng(rng)
+    keep = np.flatnonzero(generator.random(heapfile.num_pages) < p)
+    return heapfile.read_pages(keep)
+
+
+def systematic_page_sample(
+    heapfile: HeapFile, stride: int, rng: RngLike = None
+) -> np.ndarray:
+    """Every *stride*-th page starting from a uniformly random offset.
+
+    Reads ``~num_pages / stride`` pages with perfectly sequential access —
+    the cheapest possible I/O pattern — but the estimator-facing caveat is
+    real: under sorted or periodic layouts a fixed stride systematically
+    over- or under-represents regions, a bias uniform sampling cannot have.
+    """
+    if stride <= 0:
+        raise ParameterError(f"stride must be positive, got {stride}")
+    generator = ensure_rng(rng)
+    if heapfile.num_pages == 0:
+        return heapfile.read_pages([])
+    offset = int(generator.integers(0, min(stride, heapfile.num_pages)))
+    page_ids = np.arange(offset, heapfile.num_pages, stride)
+    return heapfile.read_pages(page_ids)

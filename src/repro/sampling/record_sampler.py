@@ -1,0 +1,130 @@
+"""Record-level (tuple-level) random sampling.
+
+Section 3 of the paper analyses sampling individual tuples uniformly at
+random.  The analysis assumes sampling *with* replacement (binomial tails);
+sampling without replacement only helps (hypergeometric concentration), so
+both are provided.  :func:`sample_records_from_file` runs record-level
+sampling against the storage simulator, charging a full page read per tuple —
+demonstrating why Section 4 moves to block-level sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+from ..storage.heapfile import HeapFile
+
+__all__ = [
+    "sample_with_replacement",
+    "sample_without_replacement",
+    "bernoulli_sample",
+    "reservoir_sample",
+    "sample_records_from_file",
+]
+
+
+def _check_sample_size(r: int) -> None:
+    if r < 0:
+        raise ParameterError(f"sample size must be non-negative, got {r}")
+
+
+def sample_with_replacement(
+    values: np.ndarray, r: int, rng: RngLike = None
+) -> np.ndarray:
+    """*r* uniform draws from *values*, with replacement.
+
+    This is the sampling model of Theorems 4, 5 and 7.
+    """
+    _check_sample_size(r)
+    values = np.asarray(values)
+    if r > 0 and values.size == 0:
+        raise ParameterError("cannot sample from an empty value set")
+    generator = ensure_rng(rng)
+    indices = generator.integers(0, values.size, size=r) if r else np.empty(0, int)
+    return values[indices]
+
+
+def sample_without_replacement(
+    values: np.ndarray, r: int, rng: RngLike = None
+) -> np.ndarray:
+    """*r* uniform draws from *values*, without replacement."""
+    _check_sample_size(r)
+    values = np.asarray(values)
+    if r > values.size:
+        raise ParameterError(
+            f"cannot draw {r} records without replacement from {values.size}"
+        )
+    generator = ensure_rng(rng)
+    indices = generator.choice(values.size, size=r, replace=False)
+    return values[indices]
+
+
+def bernoulli_sample(
+    values: np.ndarray, p: float, rng: RngLike = None
+) -> np.ndarray:
+    """Keep each value independently with probability *p*.
+
+    The sample size is itself random (binomial); useful for page-level
+    percentage sampling of the kind SQL Server 7.0 exposes.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    values = np.asarray(values)
+    generator = ensure_rng(rng)
+    mask = generator.random(values.size) < p
+    return values[mask]
+
+
+def reservoir_sample(
+    stream: Iterable, r: int, rng: RngLike = None
+) -> np.ndarray:
+    """Uniform sample of size *r* (without replacement) from a one-pass stream.
+
+    Vitter's Algorithm R.  Returns fewer than *r* items when the stream is
+    shorter than *r*.
+    """
+    _check_sample_size(r)
+    generator = ensure_rng(rng)
+    reservoir: list = []
+    for seen, item in enumerate(stream):
+        if seen < r:
+            reservoir.append(item)
+        else:
+            j = int(generator.integers(0, seen + 1))
+            if j < r:
+                reservoir[j] = item
+    return np.asarray(reservoir)
+
+
+def sample_records_from_file(
+    heapfile: HeapFile,
+    r: int,
+    rng: RngLike = None,
+    with_replacement: bool = True,
+) -> np.ndarray:
+    """Record-level sampling against the storage simulator.
+
+    Each sampled tuple is fetched through :meth:`HeapFile.read_record`, which
+    charges a full page read — the cost model that motivates block-level
+    sampling (start of Section 4: "scanning one tuple off the disk is not
+    much faster than scanning the entire group of tuples ... in the same
+    disk block").
+    """
+    _check_sample_size(r)
+    n = heapfile.num_records
+    if r > 0 and n == 0:
+        raise ParameterError("cannot sample from an empty heap file")
+    generator = ensure_rng(rng)
+    if with_replacement:
+        indices = generator.integers(0, n, size=r)
+    else:
+        if r > n:
+            raise ParameterError(
+                f"cannot draw {r} records without replacement from {n}"
+            )
+        indices = generator.choice(n, size=r, replace=False)
+    return np.asarray([heapfile.read_record(int(i)) for i in indices])

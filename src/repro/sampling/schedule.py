@@ -1,0 +1,140 @@
+"""Step-size schedules for the adaptive (CVB) sampling loop.
+
+The algorithm of Section 4.2 samples ``g_i`` blocks in iteration ``i``.  The
+paper's analysis recommends the doubling schedule ``g_0 = g, g_1 = g,
+g_2 = 2g, g_3 = 4g, ...`` (each increment equal to everything sampled so
+far), while the SQL Server prototype of Section 7.1 uses accumulated sample
+sizes of ``5 * i * sqrt(n)`` tuples.  Both are provided, plus a linear
+schedule as an ablation baseline; the CVB implementation accepts any
+:class:`StepSchedule`.
+
+A schedule yields *increment* sizes, in blocks, via :meth:`increments`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "StepSchedule",
+    "DoublingSchedule",
+    "LinearSchedule",
+    "SqrtSchedule",
+    "make_schedule",
+]
+
+
+class StepSchedule:
+    """Interface: an unbounded iterator of per-iteration block counts."""
+
+    def increments(self) -> Iterator[int]:
+        """Yield the number of blocks to sample in iterations 1, 2, 3, ..."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short label for reports."""
+        return type(self).__name__
+
+
+class DoublingSchedule(StepSchedule):
+    """The paper's analytical recommendation: ``g, g, 2g, 4g, 8g, ...``
+
+    Each increment matches the total sampled so far, so the accumulated
+    sample doubles every iteration.  Guarantees at most 2x oversampling
+    relative to the unknown optimal sample size (Section 4.2).
+    """
+
+    def __init__(self, initial_blocks: int):
+        if initial_blocks <= 0:
+            raise ParameterError(
+                f"initial_blocks must be positive, got {initial_blocks}"
+            )
+        self.initial_blocks = int(initial_blocks)
+
+    def increments(self) -> Iterator[int]:
+        yield self.initial_blocks
+        total = self.initial_blocks
+        while True:
+            yield total
+            total *= 2
+
+    def describe(self) -> str:
+        return f"doubling(g0={self.initial_blocks})"
+
+
+class LinearSchedule(StepSchedule):
+    """Constant increments: ``g, g, g, ...`` — the ablation baseline.
+
+    Never oversamples by more than one increment but needs many more
+    cross-validation rounds (and histogram rebuilds) to reach a large target.
+    """
+
+    def __init__(self, step_blocks: int):
+        if step_blocks <= 0:
+            raise ParameterError(
+                f"step_blocks must be positive, got {step_blocks}"
+            )
+        self.step_blocks = int(step_blocks)
+
+    def increments(self) -> Iterator[int]:
+        while True:
+            yield self.step_blocks
+
+    def describe(self) -> str:
+        return f"linear(step={self.step_blocks})"
+
+
+class SqrtSchedule(StepSchedule):
+    """The SQL Server prototype schedule of Section 7.1.
+
+    Accumulated sample sizes follow ``5 * i * sqrt(n)`` tuples for
+    ``i = 1, 2, ...``; increments are the successive differences, converted
+    to blocks of ``b`` tuples (rounded up, minimum one block).
+    """
+
+    def __init__(self, n: int, blocking_factor: int, multiplier: float = 5.0):
+        if n <= 0:
+            raise ParameterError(f"n must be positive, got {n}")
+        if blocking_factor <= 0:
+            raise ParameterError(
+                f"blocking_factor must be positive, got {blocking_factor}"
+            )
+        if multiplier <= 0:
+            raise ParameterError(f"multiplier must be positive, got {multiplier}")
+        self.n = int(n)
+        self.blocking_factor = int(blocking_factor)
+        self.multiplier = float(multiplier)
+
+    def increments(self) -> Iterator[int]:
+        step_tuples = self.multiplier * math.sqrt(self.n)
+        blocks_per_step = max(1, math.ceil(step_tuples / self.blocking_factor))
+        while True:
+            yield blocks_per_step
+
+    def describe(self) -> str:
+        return f"sqrt(n={self.n}, mult={self.multiplier:g})"
+
+
+def make_schedule(
+    name: str,
+    initial_blocks: int,
+    n: int | None = None,
+    blocking_factor: int | None = None,
+) -> StepSchedule:
+    """Factory used by experiments: ``doubling``, ``linear`` or ``sqrt``."""
+    if name == "doubling":
+        return DoublingSchedule(initial_blocks)
+    if name == "linear":
+        return LinearSchedule(initial_blocks)
+    if name == "sqrt":
+        if n is None or blocking_factor is None:
+            raise ParameterError(
+                "sqrt schedule needs n and blocking_factor"
+            )
+        return SqrtSchedule(n, blocking_factor)
+    raise ParameterError(
+        f"unknown schedule {name!r}; choose doubling, linear or sqrt"
+    )

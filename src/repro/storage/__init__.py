@@ -1,0 +1,34 @@
+"""Storage simulator: pages, heap files, layouts, and I/O accounting.
+
+This subpackage stands in for the Microsoft SQL Server 7.0 storage engine of
+the paper's experiments.  What the experiments depend on — which tuples share
+a disk block, and how many blocks a sampling strategy reads — is modelled
+exactly; device timing is deliberately out of scope.
+"""
+
+from .heapfile import HeapFile
+from .iostats import IOStats
+from .layout import (
+    LAYOUT_NAMES,
+    apply_layout,
+    partially_clustered_layout,
+    random_layout,
+    sorted_layout,
+    value_runs_layout,
+)
+from .page import Page
+from .record import DEFAULT_PAGE_SIZE, RecordSpec
+
+__all__ = [
+    "HeapFile",
+    "IOStats",
+    "LAYOUT_NAMES",
+    "apply_layout",
+    "partially_clustered_layout",
+    "random_layout",
+    "sorted_layout",
+    "value_runs_layout",
+    "Page",
+    "DEFAULT_PAGE_SIZE",
+    "RecordSpec",
+]

@@ -1,0 +1,47 @@
+"""I/O accounting for the storage simulator.
+
+The paper reports sampling cost in *disk blocks read* (e.g. Figure 4).  The
+simulator's only cost model is therefore a page-read counter: every page
+fetched from a :class:`~repro.storage.heapfile.HeapFile` increments it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable counter bundle attached to a heap file.
+
+    Attributes
+    ----------
+    page_reads:
+        Number of page fetches since construction or the last ``reset``.
+    pages_touched:
+        Distinct pages fetched (re-reading a cached page still counts as a
+        ``page_read`` but not as a new touched page).
+    """
+
+    page_reads: int = 0
+    _touched: set = field(default_factory=set, repr=False)
+
+    @property
+    def pages_touched(self) -> int:
+        return len(self._touched)
+
+    def record_read(self, page_id: int) -> None:
+        """Account for one read of *page_id*."""
+        self.page_reads += 1
+        self._touched.add(page_id)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.page_reads = 0
+        self._touched.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the counters, for reporting."""
+        return {"page_reads": self.page_reads, "pages_touched": self.pages_touched}

@@ -1,0 +1,85 @@
+"""A single fixed-capacity disk page.
+
+:class:`Page` is the record-level view used by tests and by code that wants
+slot semantics.  The hot path (:class:`~repro.storage.heapfile.HeapFile`)
+stores all attribute values in one contiguous numpy array and exposes pages
+as views, so creating a ``Page`` object per block is never required during
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import PageFullError, ParameterError
+
+__all__ = ["Page"]
+
+
+@dataclass
+class Page:
+    """A page holding up to *capacity* attribute values.
+
+    Parameters
+    ----------
+    page_id:
+        Position of this page in its heap file.
+    capacity:
+        Maximum number of records (the blocking factor ``b``).
+    """
+
+    page_id: int
+    capacity: int
+    _values: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ParameterError(f"capacity must be positive, got {self.capacity}")
+        if self.page_id < 0:
+            raise ParameterError(f"page_id must be non-negative, got {self.page_id}")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._values) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._values)
+
+    def append(self, value) -> int:
+        """Store *value* in the next free slot; return the slot index."""
+        if self.is_full:
+            raise PageFullError(
+                f"page {self.page_id} is full ({self.capacity} slots)"
+            )
+        self._values.append(value)
+        return len(self._values) - 1
+
+    def values(self) -> np.ndarray:
+        """All stored values, in slot order."""
+        return np.asarray(self._values)
+
+    def slot(self, index: int):
+        """The value in slot *index* (raises ``IndexError`` when empty)."""
+        if not 0 <= index < len(self._values):
+            raise IndexError(
+                f"slot {index} out of range for page with {len(self._values)} records"
+            )
+        return self._values[index]
+
+    @classmethod
+    def from_values(cls, page_id: int, values: np.ndarray, capacity: int) -> "Page":
+        """Build a page pre-filled with *values*."""
+        values = np.asarray(values)
+        if values.size > capacity:
+            raise PageFullError(
+                f"{values.size} values exceed page capacity {capacity}"
+            )
+        page = cls(page_id=page_id, capacity=capacity)
+        page._values = list(values)
+        return page

@@ -1,0 +1,86 @@
+"""Record layout: how many tuples fit in a disk page.
+
+The experiments vary record size from 16 to 128 bytes (Section 7.1) to vary
+the *blocking factor* — the number of records per page — which is what
+actually matters to block-level sampling (Figure 8).  A :class:`RecordSpec`
+captures that mapping for SQL Server-style 8 KB pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+
+__all__ = ["RecordSpec", "DEFAULT_PAGE_SIZE"]
+
+#: SQL Server 7.0 uses 8 KB pages.
+DEFAULT_PAGE_SIZE = 8192
+
+#: Bytes of per-page bookkeeping (header + slot directory allowance).
+_PAGE_OVERHEAD = 96
+
+
+@dataclass(frozen=True)
+class RecordSpec:
+    """Fixed-size record description.
+
+    Parameters
+    ----------
+    record_size:
+        Bytes per record, including the attribute of interest and payload.
+    page_size:
+        Bytes per disk page (default 8 KB).
+    """
+
+    record_size: int = 64
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self):
+        if self.record_size <= 0:
+            raise ParameterError(
+                f"record_size must be positive, got {self.record_size}"
+            )
+        if self.page_size - _PAGE_OVERHEAD < self.record_size:
+            raise ParameterError(
+                f"page_size {self.page_size} too small for record_size "
+                f"{self.record_size} plus {_PAGE_OVERHEAD} bytes of overhead"
+            )
+
+    @property
+    def blocking_factor(self) -> int:
+        """Records per page (the paper's ``b``)."""
+        return (self.page_size - _PAGE_OVERHEAD) // self.record_size
+
+    def pages_for(self, num_records: int) -> int:
+        """Pages needed to store *num_records* records."""
+        if num_records < 0:
+            raise ParameterError(
+                f"num_records must be non-negative, got {num_records}"
+            )
+        b = self.blocking_factor
+        return (num_records + b - 1) // b
+
+    @classmethod
+    def for_blocking_factor(
+        cls, blocking_factor: int, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> "RecordSpec":
+        """Spec whose record size yields at least *blocking_factor* records/page.
+
+        Integer record sizes cannot hit every blocking factor exactly; the
+        returned spec's :attr:`blocking_factor` is the smallest achievable
+        value that is ``>= blocking_factor``.  Experiments that need an exact
+        ``b`` should pass ``blocking_factor=`` to
+        :meth:`repro.storage.HeapFile.from_values` instead.
+        """
+        if blocking_factor <= 0:
+            raise ParameterError(
+                f"blocking_factor must be positive, got {blocking_factor}"
+            )
+        record_size = (page_size - _PAGE_OVERHEAD) // blocking_factor
+        if record_size <= 0:
+            raise ParameterError(
+                f"blocking_factor {blocking_factor} does not fit in a "
+                f"{page_size}-byte page"
+            )
+        return cls(record_size=record_size, page_size=page_size)

@@ -1,0 +1,47 @@
+"""Workload generation: experiment datasets and query workloads.
+
+The paper's evaluation (Section 7) uses Zipf data with varying skew, the
+Unif/Dup distribution, varying table sizes and record sizes, and range-query
+probes.  Everything here is deterministic given a seed.
+"""
+
+from .datasets import DATASET_NAMES, Dataset, make_dataset
+from .distributions import (
+    all_distinct,
+    bimodal_values,
+    multiset_from_counts,
+    normal_values,
+    self_similar_counts,
+    self_similar_value_set,
+    uniform_random,
+    uniform_with_duplicates,
+)
+from .queries import (
+    RangeQuery,
+    fixed_selectivity_queries,
+    random_range_queries,
+    true_range_count,
+)
+from .zipf import sample_zipf, zipf_counts, zipf_value_set, zipf_weights
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "make_dataset",
+    "all_distinct",
+    "bimodal_values",
+    "multiset_from_counts",
+    "normal_values",
+    "self_similar_counts",
+    "self_similar_value_set",
+    "uniform_random",
+    "uniform_with_duplicates",
+    "RangeQuery",
+    "fixed_selectivity_queries",
+    "random_range_queries",
+    "true_range_count",
+    "sample_zipf",
+    "zipf_counts",
+    "zipf_value_set",
+    "zipf_weights",
+]

@@ -1,0 +1,167 @@
+"""Non-Zipfian value-set generators used in experiments and tests.
+
+All generators return a numpy array of ``n`` integer (or float) attribute
+values — the multiset ``V`` of the paper.  Order within the returned array is
+domain order; physical placement is decided later by the storage layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+
+__all__ = [
+    "all_distinct",
+    "uniform_with_duplicates",
+    "uniform_random",
+    "normal_values",
+    "bimodal_values",
+    "self_similar_counts",
+    "self_similar_value_set",
+    "multiset_from_counts",
+]
+
+
+def all_distinct(n: int, start: int = 1, spacing: int = 1) -> np.ndarray:
+    """``n`` fully distinct integer values ``start, start+spacing, ...``.
+
+    This is the duplicate-free setting assumed throughout Sections 2-4 of the
+    paper: a perfect equi-height histogram always exists (up to rounding).
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if spacing <= 0:
+        raise ParameterError(f"spacing must be positive, got {spacing}")
+    return start + spacing * np.arange(n, dtype=np.int64)
+
+
+def uniform_with_duplicates(n: int, duplicates_per_value: int) -> np.ndarray:
+    """The paper's *Unif/Dup* distribution: every value occurs exactly
+    *duplicates_per_value* times.
+
+    Section 7.2 uses 100,000 distinct values each occurring 100 times
+    (n = 10M).  ``n`` must be divisible by *duplicates_per_value*.
+    """
+    if duplicates_per_value <= 0:
+        raise ParameterError(
+            f"duplicates_per_value must be positive, got {duplicates_per_value}"
+        )
+    if n % duplicates_per_value != 0:
+        raise ParameterError(
+            f"n={n} is not divisible by duplicates_per_value={duplicates_per_value}"
+        )
+    num_distinct = n // duplicates_per_value
+    domain = np.arange(1, num_distinct + 1, dtype=np.int64)
+    return np.repeat(domain, duplicates_per_value)
+
+
+def uniform_random(
+    n: int, low: int = 0, high: int = 2**31, rng: RngLike = None
+) -> np.ndarray:
+    """``n`` integers drawn uniformly at random from ``[low, high)``."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if high <= low:
+        raise ParameterError(f"need high > low, got [{low}, {high})")
+    generator = ensure_rng(rng)
+    return generator.integers(low, high, size=n, dtype=np.int64)
+
+
+def normal_values(
+    n: int, mean: float = 0.0, std: float = 1.0, rng: RngLike = None
+) -> np.ndarray:
+    """``n`` floats from a normal distribution — a smooth unimodal test case."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if std <= 0:
+        raise ParameterError(f"std must be positive, got {std}")
+    generator = ensure_rng(rng)
+    return generator.normal(mean, std, size=n)
+
+
+def bimodal_values(
+    n: int,
+    centers: tuple[float, float] = (0.0, 100.0),
+    stds: tuple[float, float] = (1.0, 1.0),
+    weight: float = 0.5,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` floats from a two-component Gaussian mixture.
+
+    A classic stress case for histograms: the empty valley between modes is
+    where equi-width buckets waste resolution and where intra-bucket
+    uniformity assumptions break.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= weight <= 1.0:
+        raise ParameterError(f"weight must be in [0, 1], got {weight}")
+    if stds[0] <= 0 or stds[1] <= 0:
+        raise ParameterError(f"stds must be positive, got {stds}")
+    generator = ensure_rng(rng)
+    from_first = generator.random(n) < weight
+    out = np.where(
+        from_first,
+        generator.normal(centers[0], stds[0], size=n),
+        generator.normal(centers[1], stds[1], size=n),
+    )
+    return out
+
+
+def self_similar_counts(n: int, num_distinct: int, h: float = 0.2) -> np.ndarray:
+    """Frequency vector of the 80-20-style self-similar distribution.
+
+    The first fraction *h* of the values receives fraction ``1-h`` of the
+    tuples, recursively.  ``h=0.2`` is the classic 80-20 rule; ``h=0.5`` is
+    uniform.  Counts are produced by recursive largest-half splitting and sum
+    to exactly *n*.
+    """
+    if not 0 < h <= 0.5:
+        raise ParameterError(f"h must be in (0, 0.5], got {h}")
+    if num_distinct <= 0:
+        raise ParameterError(f"num_distinct must be positive, got {num_distinct}")
+    counts = np.zeros(num_distinct, dtype=np.int64)
+
+    def split(lo: int, hi: int, tuples: int) -> None:
+        width = hi - lo
+        if tuples <= 0:
+            return
+        if width == 1:
+            counts[lo] += tuples
+            return
+        head_width = max(1, int(round(width * h)))
+        if head_width >= width:
+            head_width = width - 1
+        head_tuples = int(round(tuples * (1.0 - h)))
+        split(lo, lo + head_width, head_tuples)
+        split(lo + head_width, hi, tuples - head_tuples)
+
+    split(0, num_distinct, n)
+    return counts
+
+
+def self_similar_value_set(
+    n: int, num_distinct: int, h: float = 0.2, rng: RngLike = None
+) -> np.ndarray:
+    """Materialise a self-similar multiset; see :func:`self_similar_counts`."""
+    counts = self_similar_counts(n, num_distinct, h)
+    domain = np.arange(1, num_distinct + 1, dtype=np.int64)
+    if rng is not None:
+        generator = ensure_rng(rng)
+        counts = counts[generator.permutation(num_distinct)]
+    return np.repeat(domain, counts)
+
+
+def multiset_from_counts(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Expand parallel ``(values, counts)`` arrays into a flat multiset."""
+    values = np.asarray(values)
+    counts = np.asarray(counts)
+    if values.shape != counts.shape:
+        raise ParameterError(
+            f"values and counts must align, got {values.shape} vs {counts.shape}"
+        )
+    if (counts < 0).any():
+        raise ParameterError("counts must be non-negative")
+    return np.repeat(values, counts)

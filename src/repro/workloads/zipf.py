@@ -1,0 +1,114 @@
+"""Zipfian data generation.
+
+The paper's experiments (Section 7.1) generate attribute values from Zipf
+distributions with skew parameter ``Z`` between 0 (uniform) and 4 (highly
+skewed).  A Zipf distribution over a universe of ``D`` distinct values assigns
+the value of rank ``t`` a probability proportional to ``1 / t**Z``.
+
+Two generation modes are provided:
+
+``zipf_counts``
+    The deterministic frequency vector: exactly ``n`` tuples split across the
+    universe by largest-remainder rounding of the ideal Zipf probabilities.
+    This is how the experiment datasets are built, so dataset shape does not
+    vary run-to-run (only layout and sampling are randomised).
+
+``sample_zipf``
+    ``n`` i.i.d. draws from the Zipf probability vector, for tests and
+    workloads that want sampling noise in the data itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import RngLike, ensure_rng
+from ..exceptions import ParameterError
+
+__all__ = [
+    "zipf_weights",
+    "zipf_counts",
+    "zipf_value_set",
+    "sample_zipf",
+]
+
+
+def zipf_weights(num_distinct: int, z: float) -> np.ndarray:
+    """Return the normalised Zipf probability vector of length *num_distinct*.
+
+    Entry ``t`` (0-based) has probability proportional to ``1 / (t+1)**z``.
+    ``z = 0`` degenerates to the uniform distribution.
+    """
+    if num_distinct <= 0:
+        raise ParameterError(f"num_distinct must be positive, got {num_distinct}")
+    if z < 0:
+        raise ParameterError(f"Zipf parameter z must be non-negative, got {z}")
+    ranks = np.arange(1, num_distinct + 1, dtype=np.float64)
+    weights = ranks ** (-float(z))
+    return weights / weights.sum()
+
+
+def zipf_counts(n: int, num_distinct: int, z: float) -> np.ndarray:
+    """Split *n* tuples across *num_distinct* values by ideal Zipf frequency.
+
+    Uses largest-remainder rounding so the counts sum to exactly *n*.  Counts
+    of zero are possible for the far tail of a highly skewed distribution;
+    callers that need the realised number of distinct values should count the
+    non-zero entries.
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    weights = zipf_weights(num_distinct, z)
+    ideal = weights * n
+    counts = np.floor(ideal).astype(np.int64)
+    shortfall = n - int(counts.sum())
+    if shortfall > 0:
+        remainders = ideal - counts
+        # Stable: ties broken by rank, favouring more frequent values.
+        top_up = np.argsort(-remainders, kind="stable")[:shortfall]
+        counts[top_up] += 1
+    return counts
+
+
+def zipf_value_set(
+    n: int,
+    num_distinct: int,
+    z: float,
+    rng: RngLike = None,
+    permute_values: bool = True,
+    domain_spacing: int = 1,
+) -> np.ndarray:
+    """Materialise a multiset of *n* attribute values with Zipfian frequencies.
+
+    The universe is ``{1, 1 + spacing, ..., }`` of size *num_distinct*.  When
+    *permute_values* is true (the default) frequencies are assigned to domain
+    points in random order, so value magnitude and frequency are independent —
+    matching the paper's setup where skew lives in frequencies, not positions.
+    The returned array is in domain order (sorted by value); physical layout
+    on disk is a separate concern handled by :mod:`repro.storage.layout`.
+    """
+    if domain_spacing <= 0:
+        raise ParameterError(f"domain_spacing must be positive, got {domain_spacing}")
+    counts = zipf_counts(n, num_distinct, z)
+    domain = 1 + domain_spacing * np.arange(num_distinct, dtype=np.int64)
+    if permute_values:
+        generator = ensure_rng(rng)
+        counts = counts[generator.permutation(num_distinct)]
+    values = np.repeat(domain, counts)
+    return values
+
+
+def sample_zipf(
+    n: int,
+    num_distinct: int,
+    z: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw *n* i.i.d. values from a Zipf distribution over ``1..num_distinct``."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    generator = ensure_rng(rng)
+    weights = zipf_weights(num_distinct, z)
+    return generator.choice(
+        np.arange(1, num_distinct + 1, dtype=np.int64), size=n, p=weights
+    )

@@ -1,0 +1,81 @@
+"""Tests for the GMP incremental-maintenance baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gmp import GMPHistogram
+from repro.exceptions import EmptyDataError, ParameterError
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            GMPHistogram(k=0, backing_sample_size=10)
+        with pytest.raises(ParameterError):
+            GMPHistogram(k=10, backing_sample_size=5)
+        with pytest.raises(ParameterError):
+            GMPHistogram(k=10, backing_sample_size=100, tolerance=0)
+
+    def test_snapshot_before_bootstrap_rejected(self):
+        gmp = GMPHistogram(k=10, backing_sample_size=100, rng=0)
+        with pytest.raises(EmptyDataError):
+            gmp.snapshot()
+
+
+class TestMaintenance:
+    def test_total_tracks_inserts(self):
+        gmp = GMPHistogram(k=5, backing_sample_size=50, rng=0)
+        gmp.insert_many(np.arange(200))
+        assert gmp.total == 200
+
+    def test_reservoir_capped(self):
+        gmp = GMPHistogram(k=5, backing_sample_size=50, rng=0)
+        gmp.insert_many(np.arange(500))
+        assert gmp.backing_sample.size == 50
+
+    def test_reservoir_holds_everything_when_small(self):
+        gmp = GMPHistogram(k=5, backing_sample_size=1000, rng=0)
+        gmp.insert_many(np.arange(100))
+        np.testing.assert_array_equal(
+            np.sort(gmp.backing_sample), np.arange(100)
+        )
+
+    def test_recompute_triggered_by_skewed_inserts(self):
+        gmp = GMPHistogram(k=5, backing_sample_size=200, tolerance=0.5, rng=0)
+        gmp.insert_many(np.arange(1000))
+        before = gmp.recompute_count
+        # Hammer one region: its bucket overflows and triggers recomputes.
+        gmp.insert_many(np.full(2000, 500))
+        assert gmp.recompute_count > before
+
+    def test_snapshot_is_valid_histogram(self):
+        gmp = GMPHistogram(k=8, backing_sample_size=300, rng=0)
+        gmp.insert_many(np.random.default_rng(1).integers(0, 10_000, 3000))
+        hist = gmp.snapshot()
+        assert hist.k == 8
+        assert hist.total == 3000
+
+
+class TestAccuracy:
+    def test_achieved_error_reasonable_on_uniform_stream(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 10**6, size=20_000)
+        gmp = GMPHistogram(k=10, backing_sample_size=2_000, rng=3)
+        gmp.insert_many(data)
+        err = gmp.achieved_error(np.sort(data))
+        assert err < 0.5
+
+    def test_bigger_backing_sample_helps(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 10**6, size=20_000)
+        errors = []
+        for capacity in (100, 5_000):
+            gmp = GMPHistogram(k=10, backing_sample_size=capacity, rng=5)
+            gmp.insert_many(data)
+            errors.append(gmp.achieved_error(np.sort(data)))
+        assert errors[1] <= errors[0]
+
+    def test_achieved_error_before_bootstrap_rejected(self):
+        gmp = GMPHistogram(k=10, backing_sample_size=100, rng=0)
+        with pytest.raises(EmptyDataError):
+            gmp.achieved_error(np.arange(100))

@@ -1,0 +1,77 @@
+"""Tests for the Piatetsky-Shapiro/Connell single-query baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.psc import (
+    psc_count_estimate,
+    psc_sample_size,
+    psc_selectivity_estimate,
+)
+from repro.exceptions import EmptyDataError, ParameterError
+from repro.workloads.queries import RangeQuery
+
+
+class TestSampleSize:
+    def test_hoeffding_formula(self):
+        import math
+
+        r = psc_sample_size(0.05, 0.05)
+        assert r == math.ceil(math.log(2 / 0.05) / (2 * 0.05**2))
+
+    def test_tighter_epsilon_needs_quadratically_more(self):
+        loose = psc_sample_size(0.1, 0.05)
+        tight = psc_sample_size(0.05, 0.05)
+        assert tight == pytest.approx(4 * loose, rel=0.01)
+
+    def test_single_query_bound_far_below_histogram_bound(self):
+        """The paper's Section 1.1 contrast: a per-query answer needs far
+        fewer samples than an entire histogram at comparable precision."""
+        from repro.core import bounds
+
+        per_query = psc_sample_size(0.01, 0.01)
+        histogram = bounds.corollary1_sample_size(10**7, 100, 0.1, 0.01)
+        assert per_query < histogram / 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            psc_sample_size(0.0, 0.05)
+        with pytest.raises(ParameterError):
+            psc_sample_size(0.05, 1.0)
+
+
+class TestEstimates:
+    def test_selectivity_on_known_sample(self):
+        sample = np.arange(100)
+        sel = psc_selectivity_estimate(sample, RangeQuery(0, 49))
+        assert sel == pytest.approx(0.5)
+
+    def test_count_scaled_to_table(self):
+        sample = np.arange(100)
+        est = psc_count_estimate(sample, RangeQuery(0, 24), n=10_000)
+        assert est == pytest.approx(2_500)
+
+    def test_within_hoeffding_envelope(self, rng):
+        """Empirical check: at the prescribed sample size the additive error
+        stays within epsilon nearly always."""
+        n = 100_000
+        values = rng.integers(0, 1000, size=n)
+        query = RangeQuery(0, 299)
+        true_sel = float(query.selects(values).mean())
+        epsilon, gamma = 0.05, 0.05
+        r = psc_sample_size(epsilon, gamma)
+        misses = 0
+        for seed in range(40):
+            sub_rng = np.random.default_rng(seed)
+            sample = values[sub_rng.integers(0, n, size=r)]
+            if abs(psc_selectivity_estimate(sample, query) - true_sel) > epsilon:
+                misses += 1
+        assert misses <= 4  # well within the 5% failure budget
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EmptyDataError):
+            psc_selectivity_estimate(np.array([]), RangeQuery(0, 1))
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ParameterError):
+            psc_count_estimate(np.arange(10), RangeQuery(0, 1), n=0)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Everything stochastic is seeded; fixtures return fresh generators so tests
+cannot couple through shared RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import HeapFile
+from repro.workloads import make_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def distinct_values() -> np.ndarray:
+    """10,000 fully distinct sorted integers."""
+    return np.arange(1, 10_001, dtype=np.int64)
+
+
+@pytest.fixture
+def zipf_dataset():
+    """A small Zipf Z=2 dataset (heavy duplicates)."""
+    return make_dataset("zipf2", 20_000, rng=7)
+
+
+@pytest.fixture
+def unif_dup_dataset():
+    """Unif/Dup: every value exactly 10 times."""
+    return make_dataset("unif_dup", 20_000, rng=7, duplicates_per_value=10)
+
+
+@pytest.fixture
+def small_heapfile(distinct_values, rng) -> HeapFile:
+    """A random-layout heap file of the distinct values, 25 tuples/page."""
+    return HeapFile.from_values(
+        distinct_values, layout="random", rng=rng, blocking_factor=25
+    )

@@ -1,0 +1,62 @@
+"""Tests for the without-replacement sample-size correction (Section 3.1)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    corollary1_sample_size,
+    effective_with_replacement_size,
+    without_replacement_sample_size,
+)
+from repro.exceptions import ParameterError
+
+
+class TestWithoutReplacementCorrection:
+    def test_never_larger_than_with_replacement(self):
+        for r in (10, 1_000, 100_000):
+            for n in (1_000, 10**6, 10**9):
+                assert without_replacement_sample_size(r, n) <= r
+
+    def test_negligible_for_small_sampling_fraction(self):
+        """When r << n the correction vanishes — matching the paper's
+        'without any noticeable change in the bounds' remark."""
+        r = 10_000
+        n = 10**9
+        assert without_replacement_sample_size(r, n) == pytest.approx(r, abs=2)
+
+    def test_substantial_for_large_fraction(self):
+        r, n = 50_000, 100_000
+        corrected = without_replacement_sample_size(r, n)
+        assert corrected < 0.75 * r
+
+    def test_capped_at_population(self):
+        assert without_replacement_sample_size(10**9, 1000) == 1000
+
+    def test_roundtrip_with_effective_size(self):
+        n = 10**6
+        r_wor = 100_000
+        effective = effective_with_replacement_size(r_wor, n)
+        back = without_replacement_sample_size(math.ceil(effective), n)
+        assert abs(back - r_wor) <= 2
+
+    def test_effective_size_blows_up_near_census(self):
+        # A full without-replacement draw is worth ~n^2 with-replacement
+        # draws under the variance-matching correction.
+        n = 1_000
+        assert effective_with_replacement_size(n, n) >= 0.9 * n * n
+
+    def test_effective_size_validation(self):
+        with pytest.raises(ParameterError):
+            effective_with_replacement_size(1001, 1000)
+        with pytest.raises(ParameterError):
+            without_replacement_sample_size(0, 100)
+
+    def test_composes_with_corollary1(self):
+        """Planning pipeline: Corollary 1 gives r with replacement; the
+        correction turns it into the cheaper WOR prescription."""
+        n, k, f, gamma = 10**6, 100, 0.2, 0.01
+        r = corollary1_sample_size(n, k, f, gamma)
+        r_wor = without_replacement_sample_size(r, n)
+        assert r_wor <= r
+        assert r_wor >= r / 2  # at this fraction the saving is modest

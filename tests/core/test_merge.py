@@ -1,0 +1,88 @@
+"""Tests for equi-height histogram merging (partitioned-table stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import EquiHeightHistogram
+from repro.core.merge import merge_equi_height
+from repro.exceptions import ParameterError
+
+
+def hist_of(values, k):
+    return EquiHeightHistogram.from_values(np.asarray(values), k)
+
+
+class TestMerge:
+    def test_total_preserved(self):
+        left = hist_of(np.arange(0, 10_000), 10)
+        right = hist_of(np.arange(10_000, 25_000), 10)
+        merged = merge_equi_height(left, right, k=10)
+        assert merged.total == 25_000
+
+    def test_default_k(self):
+        left = hist_of(np.arange(1000), 8)
+        right = hist_of(np.arange(1000, 2000), 16)
+        merged = merge_equi_height(left, right)
+        assert merged.k == 16
+
+    def test_disjoint_partitions_recover_global_quantiles(self):
+        """Two disjoint partitions of a uniform domain: the merged histogram
+        should look like the histogram of the union."""
+        data = np.arange(0, 30_000)
+        left = hist_of(data[:10_000], 20)
+        right = hist_of(data[10_000:], 20)
+        merged = merge_equi_height(left, right, k=20)
+        exact = hist_of(data, 20)
+        # Separators within one exact bucket width of the true ones.
+        gap = np.abs(merged.separators - exact.separators).max()
+        assert gap <= 30_000 / 20
+
+    def test_overlapping_partitions(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10_000, size=20_000)
+        b = rng.integers(5_000, 15_000, size=20_000)
+        merged = merge_equi_height(hist_of(a, 25), hist_of(b, 25), k=25)
+        union = np.sort(np.concatenate([a, b]))
+        exact = EquiHeightHistogram.from_sorted_values(union, 25)
+        # Bucket counts induced on the union are near-balanced.
+        counted = merged.recount(union)
+        ideal = union.size / 25
+        assert np.abs(counted.counts - ideal).max() <= 2.5 * ideal
+
+    def test_range_estimates_consistent(self):
+        data_left = np.arange(0, 50_000)
+        data_right = np.arange(50_000, 100_000)
+        merged = merge_equi_height(
+            hist_of(data_left, 20), hist_of(data_right, 20), k=20
+        )
+        est = merged.estimate_range(25_000, 75_000)
+        assert est == pytest.approx(50_001, rel=0.1)
+
+    def test_identical_partitions_double_counts(self):
+        data = np.arange(1000)
+        merged = merge_equi_height(hist_of(data, 10), hist_of(data, 10), k=10)
+        assert merged.total == 2_000
+        assert merged.estimate_range(0, 999) == pytest.approx(2_000, rel=0.05)
+
+    def test_hot_value_eq_mass_survives(self):
+        """A value hot enough to be a separator on both sides keeps its
+        point mass through the merge."""
+        values = np.concatenate([np.full(5_000, 500), np.arange(1_000)])
+        left = hist_of(values, 10)
+        right = hist_of(values, 10)
+        merged = merge_equi_height(left, right, k=10)
+        est = merged.estimate_range(500, 500)
+        assert est == pytest.approx(2 * 5_001, rel=0.05)
+
+    def test_invalid_k_rejected(self):
+        h = hist_of(np.arange(100), 4)
+        with pytest.raises(ParameterError):
+            merge_equi_height(h, h, k=0)
+
+    def test_merge_is_commutative_in_totals(self):
+        a = hist_of(np.arange(0, 5_000), 8)
+        b = hist_of(np.arange(2_000, 9_000), 8)
+        ab = merge_equi_height(a, b, k=8)
+        ba = merge_equi_height(b, a, k=8)
+        assert ab.total == ba.total
+        np.testing.assert_allclose(ab.separators, ba.separators, atol=1e-6)

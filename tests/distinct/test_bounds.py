@@ -1,0 +1,97 @@
+"""Tests for the Theorem 8 adversarial construction."""
+
+import numpy as np
+import pytest
+
+from repro.distinct.bounds import (
+    adversarial_pair,
+    collision_probability,
+    empirical_collision_free_rate,
+    forced_ratio_error,
+)
+from repro.distinct.estimators import GEEEstimator, ScaleUpEstimator
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_sizes_match(self):
+        pair = adversarial_pair(n=10_000, r=50, gamma=0.5)
+        assert pair.high_values.size == 10_000
+        assert pair.low_values.size == 10_000
+
+    def test_high_is_all_distinct(self):
+        pair = adversarial_pair(n=5_000, r=40, gamma=0.5)
+        assert pair.high_distinct == 5_000
+
+    def test_low_duplication(self):
+        pair = adversarial_pair(n=10_000, r=50, gamma=0.5)
+        assert pair.duplication > 1
+        assert pair.low_distinct < pair.high_distinct
+
+    def test_guaranteed_ratio_formula(self):
+        pair = adversarial_pair(n=10_000, r=50, gamma=0.5)
+        assert pair.guaranteed_ratio == pytest.approx(
+            np.sqrt(pair.high_distinct / pair.low_distinct)
+        )
+
+    def test_smaller_sample_allows_more_duplication(self):
+        wide = adversarial_pair(n=100_000, r=20, gamma=0.5)
+        narrow = adversarial_pair(n=100_000, r=200, gamma=0.5)
+        assert wide.duplication > narrow.duplication
+        assert wide.guaranteed_ratio > narrow.guaranteed_ratio
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ParameterError):
+            adversarial_pair(100, 10, 0.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            adversarial_pair(0, 10, 0.5)
+
+
+class TestCollisionProbability:
+    def test_bound_formula(self):
+        assert collision_probability(10_000, 10, 20) == pytest.approx(
+            10 * 9 * 20 / 20_000
+        )
+
+    def test_capped_at_one(self):
+        assert collision_probability(100, 50, 100) == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ParameterError):
+            collision_probability(0, 1, 1)
+
+    def test_construction_keeps_collision_prob_below_target(self):
+        gamma = 0.5
+        pair = adversarial_pair(n=100_000, r=30, gamma=gamma)
+        assert collision_probability(pair.n, pair.r, pair.duplication) <= (
+            1 - gamma + 0.01
+        )
+
+
+class TestEmpirical:
+    def test_collision_free_rate_meets_gamma(self):
+        """A size-r sample from the low relation is collision-free (hence
+        uninformative) at least gamma of the time."""
+        gamma = 0.5
+        pair = adversarial_pair(n=50_000, r=30, gamma=gamma)
+        rate = empirical_collision_free_rate(pair, trials=300, rng=0)
+        assert rate >= gamma - 0.1  # union bound is conservative
+
+    def test_forced_error_exceeds_guarantee_for_any_estimator(self):
+        """For both a pessimistic and an optimistic estimator, the worse of
+        the two relations forces a large ratio error."""
+        pair = adversarial_pair(n=50_000, r=30, gamma=0.5)
+        for estimator in (GEEEstimator(), ScaleUpEstimator()):
+            errors = [
+                forced_ratio_error(pair, estimator, rng=seed)
+                for seed in range(10)
+            ]
+            # Median over trials: indistinguishability bites most times.
+            assert np.median(errors) >= 0.5 * pair.guaranteed_ratio
+
+    def test_invalid_trials_rejected(self):
+        pair = adversarial_pair(n=1000, r=10, gamma=0.5)
+        with pytest.raises(ParameterError):
+            empirical_collision_free_rate(pair, trials=0)

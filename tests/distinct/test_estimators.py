@@ -1,0 +1,260 @@
+"""Tests for the distinct-value estimators (Section 6.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distinct.estimators import (
+    ALL_ESTIMATORS,
+    ChaoEstimator,
+    ChaoLeeEstimator,
+    GEEEstimator,
+    GoodmanEstimator,
+    HybridEstimator,
+    JackknifeEstimator,
+    NaiveEstimator,
+    ScaleUpEstimator,
+    SecondOrderJackknifeEstimator,
+    ShlosserEstimator,
+    estimate_all,
+)
+from repro.distinct.frequency import FrequencyProfile
+from repro.distinct.metrics import ratio_error
+from repro.exceptions import ParameterError
+
+
+def profile_of(sample):
+    return FrequencyProfile.from_sample(np.asarray(sample))
+
+
+class TestGEE:
+    def test_formula(self):
+        """e = sqrt(n/r)*f1 + sum_{j>=2} f_j, verified by hand."""
+        sample = np.array([1, 2, 3, 3, 4, 4])  # r=6, f1=2, multiples=2
+        n = 600
+        expected = math.sqrt(600 / 6) * 2 + 2
+        got = GEEEstimator().estimate(profile_of(sample), n)
+        assert got == pytest.approx(expected)
+
+    def test_f1_plus_floor(self):
+        """With no singletons the sqrt term still contributes once."""
+        sample = np.array([1, 1, 2, 2])  # f1 = 0
+        n = 400
+        expected = math.sqrt(400 / 4) * 1 + 2
+        assert GEEEstimator().estimate(profile_of(sample), n) == pytest.approx(
+            expected
+        )
+
+    def test_clamped_to_n(self):
+        sample = np.arange(10)  # all singletons
+        assert GEEEstimator().estimate(profile_of(sample), 12) <= 12
+
+    def test_clamped_below_by_observed(self):
+        sample = np.repeat(np.arange(50), 2)
+        assert GEEEstimator().estimate(profile_of(sample), 10**6) >= 50
+
+    def test_near_optimal_ratio_error_on_both_extremes(self):
+        """GEE's defining property: on the adversarial extremes (all
+        singletons representing either 1 or n/r distinct values each) the
+        ratio error is about sqrt(n/r) rather than n/r."""
+        n, r = 100_000, 1_000
+        # All-distinct relation: d = n; sample likely all singletons.
+        rng = np.random.default_rng(0)
+        sample = rng.choice(n, size=r, replace=False)
+        est = GEEEstimator().estimate(profile_of(sample), n)
+        assert ratio_error(est, n) <= 1.5 * math.sqrt(n / r)
+        # Heavy-duplicate relation: d = n/r distinct values.
+        d_low = n // r
+        values = np.repeat(np.arange(d_low), r)
+        sample2 = values[rng.integers(0, values.size, size=r)]
+        est2 = GEEEstimator().estimate(profile_of(sample2), n)
+        assert ratio_error(est2, d_low) <= 1.5 * math.sqrt(n / r)
+
+    def test_sample_larger_than_n_rejected(self):
+        with pytest.raises(ParameterError):
+            GEEEstimator().estimate(profile_of(np.arange(10)), 5)
+
+
+class TestSimpleEstimators:
+    def test_naive_reports_observed(self):
+        sample = np.array([1, 1, 2, 3])
+        assert NaiveEstimator().estimate(profile_of(sample), 100) == 3
+
+    def test_scale_up(self):
+        sample = np.array([1, 2, 3, 4])  # d=4, r=4
+        assert ScaleUpEstimator().estimate(profile_of(sample), 100) == pytest.approx(
+            100
+        )
+
+    def test_scale_up_clamped(self):
+        sample = np.array([1, 2])
+        assert ScaleUpEstimator().estimate(profile_of(sample), 3) == 3
+
+    def test_jackknife1_formula(self):
+        sample = np.array([1, 2, 3, 3])  # r=4, d=3, f1=2
+        expected = 3 + 2 * (3 / 4)
+        assert JackknifeEstimator().estimate(
+            profile_of(sample), 100
+        ) == pytest.approx(expected)
+
+    def test_jackknife2_at_least_jackknife1_when_f2_zero(self):
+        sample = np.array([1, 2, 3, 4, 4, 4])
+        j1 = JackknifeEstimator().estimate(profile_of(sample), 1000)
+        j2 = SecondOrderJackknifeEstimator().estimate(profile_of(sample), 1000)
+        assert j2 >= j1
+
+    def test_chao_formula(self):
+        sample = np.array([1, 2, 3, 3, 4, 4])  # d=4, f1=2, f2=2
+        expected = 4 + 4 / 4
+        assert ChaoEstimator().estimate(profile_of(sample), 100) == pytest.approx(
+            expected
+        )
+
+    def test_chao_f2_zero_fallback(self):
+        sample = np.array([1, 2, 3])  # f1=3, f2=0
+        est = ChaoEstimator().estimate(profile_of(sample), 100)
+        assert est == pytest.approx(3 + 3 * 2 / 2)
+
+    def test_chao_lee_full_coverage(self):
+        """No singletons: coverage 1, estimate ~ d (plus small skew term)."""
+        sample = np.repeat(np.arange(20), 5)
+        est = ChaoLeeEstimator().estimate(profile_of(sample), 10_000)
+        assert est == pytest.approx(20, rel=0.1)
+
+    def test_chao_lee_zero_coverage_falls_back(self):
+        sample = np.arange(10)  # all singletons: coverage 0
+        est = ChaoLeeEstimator().estimate(profile_of(sample), 1000)
+        assert est == pytest.approx(1000, rel=0.01)  # scale-up limit, clamped
+
+    def test_shlosser_uniform_duplicates(self):
+        """Shlosser is accurate on uniform-duplication data with a decent
+        sampled fraction."""
+        rng = np.random.default_rng(1)
+        d_true, dup = 1000, 100
+        values = np.repeat(np.arange(d_true), dup)
+        sample = values[rng.integers(0, values.size, size=20_000)]  # q=0.2
+        est = ShlosserEstimator().estimate(profile_of(sample), values.size)
+        assert est == pytest.approx(d_true, rel=0.25)
+
+    def test_goodman_full_sample_is_exact(self):
+        sample = np.array([1, 1, 2, 3])
+        assert GoodmanEstimator().estimate(profile_of(sample), 4) == 3
+
+    def test_goodman_finite_and_clamped(self):
+        """Goodman must never return NaN/inf even when its terms explode."""
+        rng = np.random.default_rng(2)
+        sample = rng.integers(0, 10_000, size=100)
+        est = GoodmanEstimator().estimate(profile_of(sample), 10**7)
+        assert math.isfinite(est)
+        assert 1 <= est <= 10**7
+
+
+class TestHybrid:
+    def test_uniform_sample_routes_to_shlosser(self):
+        hybrid = HybridEstimator()
+        sample = np.repeat(np.arange(100), 3)  # perfectly uniform
+        assert hybrid.looks_uniform(profile_of(sample))
+
+    def test_skewed_sample_routes_to_gee(self):
+        hybrid = HybridEstimator()
+        sample = np.concatenate([np.full(500, 1), np.arange(2, 52)])
+        assert not hybrid.looks_uniform(profile_of(sample))
+        est = hybrid.estimate(profile_of(sample), 10_000)
+        gee = GEEEstimator().estimate(profile_of(sample), 10_000)
+        assert est == gee
+
+    def test_invalid_significance_rejected(self):
+        with pytest.raises(ParameterError):
+            HybridEstimator(significance=0.0)
+
+
+class TestEstimateAll:
+    def test_runs_every_estimator(self, rng):
+        sample = rng.integers(0, 1000, size=500)
+        results = estimate_all(sample, 100_000)
+        assert set(results) == {e.name for e in ALL_ESTIMATORS}
+        for name, value in results.items():
+            assert math.isfinite(value), name
+            assert value >= 1
+
+    def test_all_estimates_within_feasible_range(self, rng):
+        """Every estimator respects d_samp <= estimate <= n (after clamping),
+        except naive which reports d_samp."""
+        n = 50_000
+        sample = rng.integers(0, 200, size=2000)
+        d_samp = np.unique(sample).size
+        results = estimate_all(sample, n)
+        for name, value in results.items():
+            assert d_samp - 1e-9 <= value <= n + 1e-9, name
+
+    def test_gee_beats_naive_and_scaleup_worst_case(self):
+        """On the two adversarial extremes, GEE's worst ratio error is lower
+        than both naive's and scale-up's worst — the Section 6.2 argument."""
+        rng = np.random.default_rng(3)
+        n, r = 100_000, 1_000
+        worst = {"gee": 1.0, "naive": 1.0, "scale_up": 1.0}
+        for values, d_true in [
+            (np.arange(n), n),
+            (np.repeat(np.arange(n // r), r), n // r),
+        ]:
+            sample = values[rng.integers(0, n, size=r)]
+            results = estimate_all(sample, n)
+            for name in worst:
+                worst[name] = max(worst[name], ratio_error(results[name], d_true))
+        assert worst["gee"] < worst["naive"]
+        assert worst["gee"] < worst["scale_up"]
+
+
+class TestFiniteJackknife:
+    def test_full_sample_is_exact(self):
+        from repro.distinct.estimators import FiniteJackknifeEstimator
+
+        sample = np.array([1, 1, 2, 3])
+        est = FiniteJackknifeEstimator().estimate(profile_of(sample), 4)
+        assert est == 3  # q = 1: no correction
+
+    def test_partial_sample_scales_up(self):
+        from repro.distinct.estimators import FiniteJackknifeEstimator
+
+        rng = np.random.default_rng(5)
+        values = np.repeat(np.arange(500), 20)
+        sample = values[rng.integers(0, values.size, 2000)]  # q = 0.2
+        est = FiniteJackknifeEstimator().estimate(
+            profile_of(sample), values.size
+        )
+        assert 400 <= est <= 700  # true d = 500
+
+    def test_all_singletons_clamps_to_n(self):
+        from repro.distinct.estimators import FiniteJackknifeEstimator
+
+        sample = np.arange(100)
+        est = FiniteJackknifeEstimator().estimate(profile_of(sample), 10**6)
+        # Denominator collapses to q: the estimator reports ~n.
+        assert est == pytest.approx(10**6, rel=1e-6)
+
+
+class TestBootstrap:
+    def test_formula(self):
+        from repro.distinct.estimators import BootstrapEstimator
+
+        sample = np.array([1, 1, 2])  # r=3: missing mass (1/3)^3 + (2/3)^3
+        expected = 2 + (1 - 2 / 3) ** 3 + (1 - 1 / 3) ** 3
+        est = BootstrapEstimator().estimate(profile_of(sample), 100)
+        assert est == pytest.approx(expected)
+
+    def test_no_correction_when_everything_heavy(self):
+        from repro.distinct.estimators import BootstrapEstimator
+
+        sample = np.repeat([1, 2], 50)  # (1 - 50/100)^100 ~ 0
+        est = BootstrapEstimator().estimate(profile_of(sample), 10_000)
+        assert est == pytest.approx(2, abs=0.01)
+
+    def test_mild_correction_underestimates_sparse_population(self):
+        from repro.distinct.estimators import BootstrapEstimator
+
+        rng = np.random.default_rng(6)
+        n = 100_000
+        sample = rng.choice(n, size=100, replace=False)
+        est = BootstrapEstimator().estimate(profile_of(sample), n)
+        assert est < 0.01 * n  # can never see what was never sampled

@@ -1,0 +1,51 @@
+"""Tests for distinct-value error metrics (Definition 5 and rel-error)."""
+
+import pytest
+
+from repro.distinct.metrics import ratio_error, rel_error
+from repro.exceptions import ParameterError
+
+
+class TestRatioError:
+    def test_exact_estimate(self):
+        assert ratio_error(100, 100) == 1.0
+
+    def test_overestimate(self):
+        assert ratio_error(300, 100) == 3.0
+
+    def test_underestimate_inverted(self):
+        assert ratio_error(25, 100) == 4.0
+
+    def test_always_at_least_one(self):
+        for est, true in [(1, 7), (7, 1), (5, 5), (3, 4)]:
+            assert ratio_error(est, true) >= 1.0
+
+    def test_symmetric_in_log(self):
+        assert ratio_error(50, 100) == ratio_error(200, 100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            ratio_error(0, 10)
+        with pytest.raises(ParameterError):
+            ratio_error(10, 0)
+
+
+class TestRelError:
+    def test_paper_example(self):
+        """Section 6.2: n=100,000, d=500, e=5,000 -> rel-error 0.045."""
+        assert rel_error(5000, 500, 100_000) == pytest.approx(0.045)
+
+    def test_exact_is_zero(self):
+        assert rel_error(42, 42, 1000) == 0.0
+
+    def test_bounded_by_one_when_estimates_feasible(self):
+        # d and e both in [0, n] keeps rel-error within [0, 1].
+        assert rel_error(0, 1000, 1000) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            rel_error(10, 10, 0)
+
+    def test_negative_true_rejected(self):
+        with pytest.raises(ParameterError):
+            rel_error(10, -1, 100)

@@ -1,0 +1,102 @@
+"""Tests for System R / histogram-based join-size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import StatisticsManager, Table
+from repro.engine.joins import (
+    histogram_join_size,
+    system_r_join_size,
+    true_join_size,
+)
+
+
+def analyze_pair(left_values, right_values, seed=0, method="fullscan"):
+    manager = StatisticsManager()
+    left_table = Table("L", {"key": left_values})
+    right_table = Table("R", {"key": right_values})
+    left = manager.analyze(left_table, "key", k=50, method=method, rng=seed)
+    right = manager.analyze(
+        right_table, "key", k=50, method=method, rng=seed + 1
+    )
+    return left, right
+
+
+class TestTrueJoinSize:
+    def test_key_foreign_key(self):
+        keys = np.arange(100)
+        fks = np.repeat(np.arange(100), 5)
+        assert true_join_size(keys, fks) == 500
+
+    def test_disjoint(self):
+        assert true_join_size(np.arange(10), np.arange(100, 110)) == 0
+
+    def test_full_cross_on_one_value(self):
+        assert true_join_size(np.full(10, 7), np.full(20, 7)) == 200
+
+
+class TestSystemR:
+    def test_exact_for_key_fk_with_perfect_stats(self):
+        keys = np.arange(2000)
+        fks = np.repeat(np.arange(2000), 10)
+        left, right = analyze_pair(keys, fks)
+        est = system_r_join_size(left, right)
+        assert est == pytest.approx(true_join_size(keys, fks), rel=0.01)
+
+    def test_sampled_stats_stay_close(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(20_000)
+        fks = rng.integers(0, 20_000, size=60_000)
+        left, right = analyze_pair(keys, fks, method="cvb")
+        est = system_r_join_size(left, right)
+        truth = true_join_size(keys, fks)
+        assert est == pytest.approx(truth, rel=0.5)
+
+    def test_symmetric(self):
+        keys = np.arange(1000)
+        fks = np.repeat(np.arange(1000), 3)
+        left, right = analyze_pair(keys, fks)
+        assert system_r_join_size(left, right) == pytest.approx(
+            system_r_join_size(right, left)
+        )
+
+
+class TestHistogramJoin:
+    def test_matches_system_r_on_full_overlap(self):
+        keys = np.arange(2000)
+        fks = np.repeat(np.arange(2000), 10)
+        left, right = analyze_pair(keys, fks)
+        hist_est = histogram_join_size(left, right)
+        truth = true_join_size(keys, fks)
+        assert hist_est == pytest.approx(truth, rel=0.2)
+
+    def test_beats_system_r_on_partial_overlap(self):
+        """Only the top half of the left domain exists on the right: the
+        containment assumption overestimates, histogram alignment does not."""
+        left_values = np.repeat(np.arange(2000), 5)
+        right_values = np.repeat(np.arange(1000, 3000), 5)
+        left, right = analyze_pair(left_values, right_values)
+        truth = true_join_size(left_values, right_values)
+        sr = system_r_join_size(left, right)
+        hist = histogram_join_size(left, right)
+        assert abs(hist - truth) < abs(sr - truth)
+
+    def test_disjoint_ranges_give_zero(self):
+        left, right = analyze_pair(np.arange(1000), np.arange(5000, 6000))
+        assert histogram_join_size(left, right) == 0.0
+
+    def test_resolution_override(self):
+        keys = np.arange(2000)
+        fks = np.repeat(np.arange(2000), 2)
+        left, right = analyze_pair(keys, fks)
+        coarse = histogram_join_size(left, right, resolution=4)
+        fine = histogram_join_size(left, right, resolution=256)
+        truth = true_join_size(keys, fks)
+        assert abs(fine - truth) <= abs(coarse - truth) + 0.1 * truth
+
+    def test_invalid_resolution_rejected(self):
+        from repro.exceptions import ParameterError
+
+        left, right = analyze_pair(np.arange(100), np.arange(100))
+        with pytest.raises(ParameterError):
+            histogram_join_size(left, right, resolution=1)

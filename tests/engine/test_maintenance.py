@@ -1,0 +1,107 @@
+"""Tests for statistics staleness tracking and auto-refresh."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.engine.maintenance import (
+    AutoStatistics,
+    ModificationCounter,
+    RefreshPolicy,
+)
+from repro.exceptions import ParameterError
+
+
+class TestModificationCounter:
+    def test_accumulates(self):
+        counter = ModificationCounter()
+        counter.record("t", "x", 10)
+        counter.record("t", "x", 5)
+        assert counter.since_refresh("t", "x") == 15
+
+    def test_independent_keys(self):
+        counter = ModificationCounter()
+        counter.record("t", "x", 10)
+        assert counter.since_refresh("t", "y") == 0
+        assert counter.since_refresh("u", "x") == 0
+
+    def test_reset(self):
+        counter = ModificationCounter()
+        counter.record("t", "x", 10)
+        counter.reset("t", "x")
+        assert counter.since_refresh("t", "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            ModificationCounter().record("t", "x", -1)
+
+
+class TestRefreshPolicy:
+    def test_default_threshold(self):
+        policy = RefreshPolicy()
+        assert policy.threshold(10_000) == 2_000
+        assert policy.threshold(100) == 500  # the floor dominates
+
+    def test_custom_policy(self):
+        policy = RefreshPolicy(fraction=0.5, floor_rows=10)
+        assert policy.threshold(1000) == 500
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            RefreshPolicy(fraction=0.0)
+        with pytest.raises(ParameterError):
+            RefreshPolicy(floor_rows=-1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ParameterError):
+            RefreshPolicy().threshold(-1)
+
+
+class TestAutoStatistics:
+    def _setup(self, n=20_000):
+        table = Table("t", {"x": np.arange(n)})
+        auto = AutoStatistics(policy=RefreshPolicy(fraction=0.2, floor_rows=100))
+        auto.analyze(table, "x", k=10, f=0.3, rng=0)
+        return table, auto
+
+    def test_fresh_statistics_not_rebuilt(self):
+        table, auto = self._setup()
+        before = auto.manager.catalog.version("t", "x")
+        auto.record_modifications("t", "x", 10)
+        auto.ensure_fresh(table, "x", rng=1)
+        assert auto.manager.catalog.version("t", "x") == before
+        assert auto.refresh_count == 0
+
+    def test_stale_statistics_rebuilt(self):
+        table, auto = self._setup()
+        auto.record_modifications("t", "x", 5_000)  # > 20% of 20k
+        assert auto.is_stale("t", "x")
+        auto.ensure_fresh(table, "x", rng=2)
+        assert auto.refresh_count == 1
+        assert not auto.is_stale("t", "x")
+
+    def test_refresh_reuses_build_params(self):
+        table, auto = self._setup()
+        auto.record_modifications("t", "x", 5_000)
+        refreshed = auto.ensure_fresh(table, "x", rng=3)
+        assert refreshed.histogram.k == 10
+        assert refreshed.build_params["f"] == 0.3
+
+    def test_refresh_sees_new_data(self):
+        table = Table("t", {"x": np.arange(10_000)})
+        auto = AutoStatistics(policy=RefreshPolicy(fraction=0.1, floor_rows=10))
+        auto.analyze(table, "x", k=10, f=0.3, rng=4)
+        old_max = auto.manager.statistics("t", "x").histogram.max_value
+
+        # Simulate growth: a new table object with a wider domain.
+        grown = Table("t", {"x": np.arange(40_000)})
+        auto.record_modifications("t", "x", 30_000)
+        refreshed = auto.ensure_fresh(grown, "x", rng=5)
+        assert refreshed.histogram.max_value > old_max
+        assert refreshed.n == 40_000
+
+    def test_counter_resets_after_analyze(self):
+        table, auto = self._setup()
+        auto.record_modifications("t", "x", 5_000)
+        auto.analyze(table, "x", k=10, f=0.3, rng=6)
+        assert not auto.is_stale("t", "x")

@@ -1,0 +1,103 @@
+"""Tests for ColumnStatistics / catalog persistence."""
+
+import numpy as np
+import pytest
+
+from repro.engine import StatisticsManager, Table
+from repro.engine.serialization import (
+    dump_catalog,
+    load_catalog,
+    statistics_from_dict,
+    statistics_from_json,
+    statistics_to_dict,
+    statistics_to_json,
+)
+from repro.exceptions import ParameterError
+from repro.workloads import make_dataset
+
+
+@pytest.fixture
+def built_stats():
+    dataset = make_dataset("zipf2", 20_000, rng=0)
+    table = Table("sales", {"amount": dataset.values})
+    manager = StatisticsManager()
+    stats = manager.analyze(table, "amount", k=20, f=0.25, rng=1)
+    return manager, stats, dataset
+
+
+class TestStatisticsRoundTrip:
+    def test_dict_roundtrip_preserves_fields(self, built_stats):
+        _, stats, _ = built_stats
+        rebuilt = statistics_from_dict(statistics_to_dict(stats))
+        assert rebuilt.table_name == stats.table_name
+        assert rebuilt.column_name == stats.column_name
+        assert rebuilt.n == stats.n
+        assert rebuilt.density == stats.density
+        assert rebuilt.selfjoin_density == stats.selfjoin_density
+        assert rebuilt.distinct_estimate == stats.distinct_estimate
+        assert rebuilt.histogram == stats.histogram
+        assert rebuilt.build_params == stats.build_params
+
+    def test_sample_and_trace_not_persisted(self, built_stats):
+        _, stats, _ = built_stats
+        payload = statistics_to_dict(stats)
+        assert "sample" not in payload
+        assert "cvb_result" not in payload
+        rebuilt = statistics_from_dict(payload)
+        assert rebuilt.sample is None
+        assert rebuilt.cvb_result is None
+
+    def test_estimates_survive_roundtrip(self, built_stats):
+        _, stats, dataset = built_stats
+        rebuilt = statistics_from_json(statistics_to_json(stats))
+        lo, hi = 10, 300
+        assert rebuilt.estimate_range(lo, hi) == pytest.approx(
+            stats.estimate_range(lo, hi)
+        )
+        assert rebuilt.estimate_equality(5) == pytest.approx(
+            stats.estimate_equality(5)
+        )
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ParameterError):
+            statistics_from_json("{broken")
+
+    def test_wrong_version_rejected(self, built_stats):
+        _, stats, _ = built_stats
+        payload = statistics_to_dict(stats)
+        payload["format_version"] = 99
+        with pytest.raises(ParameterError):
+            statistics_from_dict(payload)
+
+    def test_missing_field_rejected(self, built_stats):
+        _, stats, _ = built_stats
+        payload = statistics_to_dict(stats)
+        del payload["density"]
+        with pytest.raises(ParameterError):
+            statistics_from_dict(payload)
+
+
+class TestCatalogRoundTrip:
+    def test_dump_and_load(self, built_stats):
+        manager, _, dataset = built_stats
+        table = Table("sales", {"qty": np.arange(20_000)})
+        manager.analyze(table, "qty", k=10, f=0.3, rng=2)
+
+        text = dump_catalog(manager.catalog)
+        restored = load_catalog(text)
+        assert restored.keys() == manager.catalog.keys()
+        original = manager.catalog.get("sales", "amount")
+        loaded = restored.get("sales", "amount")
+        assert loaded.histogram == original.histogram
+
+    def test_empty_catalog(self):
+        from repro.engine.catalog import Catalog
+
+        restored = load_catalog(dump_catalog(Catalog()))
+        assert len(restored) == 0
+
+    def test_bad_catalog_payload_rejected(self):
+        with pytest.raises(ParameterError):
+            load_catalog('{"no_entries": true}')
+        with pytest.raises(ParameterError):
+            load_catalog("not json at all")

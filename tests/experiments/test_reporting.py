@@ -1,0 +1,62 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments.reporting import (
+    Series,
+    format_series,
+    format_table,
+    paper_note,
+)
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule only
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [0.0000001], [0.0]])
+        assert "0.1235" in text
+        assert "1.23e+04" in text or "12345.6" in text or "1.23e+4" in text
+        assert "1e-07" in text
+        assert "0" in text
+
+    def test_mixed_types(self):
+        text = format_table(["name", "count", "rate"], [["x", 10, 0.5]])
+        assert "x" in text and "10" in text and "0.5" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["aa", "b"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line padded to the same width
+
+
+class TestSeries:
+    def test_mismatched_series_lengths_render(self):
+        a = Series("a", "x", "y")
+        b = Series("b", "x", "y")
+        a.add(1, 10)
+        a.add(2, 20)
+        b.add(1, 30)
+        text = format_series("t", [a, b])
+        # Shorter series renders blanks rather than crashing.
+        assert "20" in text
+
+    def test_empty_series_list(self):
+        assert format_series("just a title", []) == "just a title"
+
+    def test_single_series_uses_y_name(self):
+        s = Series("ignored-label", "x", "throughput")
+        s.add(1, 2)
+        text = format_series("t", [s])
+        assert "throughput" in text
+
+
+class TestPaperNote:
+    def test_without_caveat(self):
+        assert paper_note("expectation").count("\n") == 0
+
+    def test_with_caveat(self):
+        text = paper_note("expectation", "caveat text")
+        assert "note: caveat text" in text

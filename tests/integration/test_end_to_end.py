@@ -1,0 +1,127 @@
+"""Integration tests: the full ANALYZE -> estimate pipeline across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EquiHeightHistogram,
+    GEEEstimator,
+    StatisticsManager,
+    Table,
+    make_dataset,
+)
+from repro.core.error_metrics import fractional_max_error
+from repro.engine.selectivity import RangeSelectivityEstimator, evaluate_workload
+from repro.workloads.queries import random_range_queries
+
+
+class TestAnalyzePipeline:
+    @pytest.mark.parametrize("dataset_name", ["zipf0", "zipf2", "unif_dup"])
+    def test_cvb_statistics_usable_for_estimation(self, dataset_name):
+        """Build stats with CVB over the storage simulator, then answer a
+        query workload with bounded error — the full product path."""
+        dataset = make_dataset(dataset_name, 50_000, rng=0)
+        table = Table("t", {"x": dataset.values})
+        manager = StatisticsManager()
+        stats = manager.analyze(table, "x", k=50, f=0.2, rng=1)
+        assert stats.converged
+
+        queries = random_range_queries(dataset.values, 100, rng=2)
+        accuracy = evaluate_workload(
+            stats.estimator(), dataset.values, queries
+        )
+        # Theorem 3 envelope with room for interpolation inside buckets on
+        # skewed data: a couple of ideal bucket widths.
+        n, k = dataset.n, stats.histogram.k
+        assert accuracy.max_absolute_error <= 6 * n / k
+
+    def test_multiple_columns_and_refresh(self):
+        rng = np.random.default_rng(3)
+        table = Table(
+            "orders",
+            {
+                "qty": rng.integers(0, 1000, size=30_000),
+                "price": rng.normal(100, 15, size=30_000),
+            },
+        )
+        manager = StatisticsManager()
+        manager.analyze(table, "qty", k=20, f=0.25, rng=4)
+        manager.analyze(table, "price", k=20, f=0.25, rng=5)
+        assert len(manager.catalog) == 2
+        manager.analyze(table, "qty", k=40, f=0.25, rng=6)
+        assert manager.catalog.version("orders", "qty") == 2
+        assert manager.statistics("orders", "qty").histogram.k == 40
+
+    def test_distinct_estimate_quality_zipf(self):
+        """Figures 9/11 in miniature: GEE tracks the true distinct count of
+        a Zipf column from a modest block sample."""
+        dataset = make_dataset("zipf2", 100_000, rng=7)
+        table = Table("t", {"x": dataset.values})
+        manager = StatisticsManager(distinct_estimator=GEEEstimator())
+        stats = manager.analyze(table, "x", k=50, f=0.15, rng=8)
+        rel = abs(dataset.num_distinct - stats.distinct_estimate) / dataset.n
+        assert rel < 0.02  # the paper's rel-error metric stays tiny
+
+    def test_custom_layout_via_heapfile(self):
+        dataset = make_dataset("zipf2", 30_000, rng=9)
+        table = Table("t", {"x": dataset.values})
+        hf = table.to_heapfile("x", layout="partial", rng=10, blocking_factor=50)
+        manager = StatisticsManager()
+        stats = manager.analyze(table, "x", k=20, f=0.25, heapfile=hf, rng=11)
+        assert stats.pages_read <= hf.num_pages
+
+
+class TestSamplingVsFullscanAgreement:
+    def test_sampled_histogram_close_to_perfect(self):
+        dataset = make_dataset("zipf0", 80_000, rng=12)
+        table = Table("t", {"x": dataset.values})
+        manager = StatisticsManager()
+        sampled = manager.analyze(table, "x", k=25, f=0.1, rng=13)
+        perfect = EquiHeightHistogram.from_sorted_values(dataset.values, 25)
+
+        err = fractional_max_error(
+            sampled.histogram.separators, sampled.sample, dataset.values
+        )
+        assert err < 0.3
+        # Separators land close to the perfect ones in quantile terms.
+        perfect_cdf = np.searchsorted(
+            dataset.values, sampled.histogram.separators, side="right"
+        ) / dataset.n
+        targets = np.arange(1, 25) / 25
+        assert np.abs(perfect_cdf - targets).max() < 0.05
+
+    def test_record_and_block_methods_agree_statistically(self):
+        dataset = make_dataset("zipf0", 50_000, rng=14)
+        table = Table("t", {"x": dataset.values})
+        manager = StatisticsManager()
+        record = manager.analyze(
+            table, "x", k=20, method="record", record_sample_size=10_000, rng=15
+        )
+        block = manager.analyze(table, "x", k=20, f=0.15, rng=16)
+        for stats in (record, block):
+            err = fractional_max_error(
+                stats.histogram.separators, stats.sample, dataset.values
+            )
+            assert err < 0.3
+
+
+class TestIOAccountingEndToEnd:
+    def test_block_sampling_is_cheaper_than_record_sampling(self):
+        """The Section 4 motivation, measured end to end in page reads."""
+        dataset = make_dataset("zipf0", 50_000, rng=17)
+        table = Table("t", {"x": dataset.values})
+
+        hf_record = table.to_heapfile("x", layout="random", rng=18,
+                                      blocking_factor=100)
+        manager = StatisticsManager()
+        record = manager.analyze(
+            table, "x", k=20, method="record",
+            record_sample_size=10_000, heapfile=hf_record, rng=19,
+        )
+
+        hf_block = table.to_heapfile("x", layout="random", rng=18,
+                                     blocking_factor=100)
+        block = manager.analyze(
+            table, "x", k=20, f=0.15, heapfile=hf_block, rng=20
+        )
+        assert block.pages_read < record.pages_read

@@ -1,0 +1,114 @@
+"""The paper, section by section, as executable assertions.
+
+Each test walks one section's central claim end-to-end on small data —
+a table of contents for the reproduction, and a regression net across
+module boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bounds
+from repro.core.adaptive import CVBConfig, CVBSampler
+from repro.core.error_metrics import (
+    avg_error,
+    fractional_max_error,
+    max_error,
+    max_error_fraction,
+)
+from repro.core.histogram import EquiHeightHistogram
+from repro.distinct.bounds import adversarial_pair, forced_ratio_error
+from repro.distinct.estimators import GEEEstimator, NaiveEstimator
+from repro.distinct.metrics import ratio_error, rel_error
+from repro.sampling.record_sampler import sample_with_replacement
+from repro.storage import HeapFile
+from repro.workloads import make_dataset
+
+
+class TestSection2_ErrorMetric:
+    def test_small_average_error_can_hide_a_big_bucket(self):
+        """Section 2.2's critique: Δavg small, one bucket badly wrong."""
+        counts = np.full(100, 1000)
+        counts[50] += 5_000
+        counts[:50] -= 100  # drain to keep things comparable
+        assert avg_error(counts) < 0.11 * counts.mean()
+        assert max_error(counts) > 4 * avg_error(counts)
+
+    def test_max_metric_is_the_conservative_one(self):
+        """Definition 1 / Theorem 2: bounding Δmax bounds everything."""
+        rng = np.random.default_rng(0)
+        counts = rng.integers(500, 1500, size=64)
+        assert avg_error(counts) <= max_error(counts)
+
+
+class TestSection3_RecordLevelBounds:
+    def test_corollary1_sample_works_on_any_distribution(self):
+        """The bound is distribution-free: the same r handles uniform and
+        heavily skewed data at the same k and f."""
+        n, k, f = 100_000, 20, 0.3
+        r = min(n, bounds.corollary1_sample_size(n, k, f, 0.05))
+        for name in ("zipf0", "zipf4"):
+            dataset = make_dataset(name, n, rng=1)
+            sample = sample_with_replacement(dataset.values, r, 2)
+            hist = EquiHeightHistogram.from_values(sample, k)
+            achieved = fractional_max_error(
+                hist.separators, np.sort(sample), dataset.values
+            )
+            assert achieved <= f, name
+
+    def test_sample_size_flat_in_n(self):
+        r_small = bounds.corollary1_sample_size(10**6, 100, 0.1, 0.01)
+        r_huge = bounds.corollary1_sample_size(10**12, 100, 0.1, 0.01)
+        assert r_huge < 2 * r_small
+
+
+class TestSection4_BlockLevelAdaptivity:
+    def test_cvb_cost_tracks_page_information_content(self):
+        """Scenario (a) vs (b): the same tuples cost more pages to
+        summarise when pages are internally correlated."""
+        dataset = make_dataset("zipf0", 60_000, rng=3)
+        costs = {}
+        for layout in ("random", "sorted"):
+            hf = HeapFile.from_values(
+                dataset.values, layout=layout, rng=4, blocking_factor=50
+            )
+            result = CVBSampler(CVBConfig(k=20, f=0.25)).run(hf, rng=5)
+            costs[layout] = result.pages_sampled
+        assert costs["sorted"] > costs["random"]
+
+
+class TestSection5_Duplicates:
+    def test_count_metric_breaks_fractional_metric_survives(self):
+        """With one value above n/k, the count-form fraction is stuck high
+        no matter the sample, while f' correctly reports a good histogram."""
+        dataset = make_dataset("zipf2", 50_000, rng=6)
+        hist = EquiHeightHistogram.from_sorted_values(dataset.values, 50)
+        count_form = max_error_fraction(hist.counts)
+        fractional = fractional_max_error(
+            hist.separators, dataset.values, dataset.values
+        )
+        assert count_form > 1.0  # hot value alone overflows a bucket
+        assert fractional == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSection6_DistinctValues:
+    def test_the_negative_result_and_the_positive_one(self):
+        """Theorem 8 forbids reliable ratio error; GEE achieves the optimal
+        worst case; rel-error remains informative regardless."""
+        n, r = 50_000, 40
+        pair = adversarial_pair(n, r, gamma=0.5)
+        gee, naive = GEEEstimator(), NaiveEstimator()
+        gee_err = np.median(
+            [forced_ratio_error(pair, gee, rng=s) for s in range(8)]
+        )
+        naive_err = np.median(
+            [forced_ratio_error(pair, naive, rng=s) for s in range(8)]
+        )
+        # Nobody escapes, but GEE's forced error is the smaller.
+        assert gee_err >= 0.25 * pair.guaranteed_ratio
+        assert gee_err <= naive_err
+
+        # The weaker metric stays usable: even a 10x-off estimate yields a
+        # tiny rel-error when d << n (the paper's closing example).
+        assert ratio_error(5_000, 500) == 10
+        assert rel_error(5_000, 500, 100_000) == pytest.approx(0.045)

@@ -1,0 +1,119 @@
+"""Lifecycle integration: build -> persist -> reload -> refine -> refresh.
+
+Exercises the catalog operations a long-lived deployment performs, across
+module boundaries: CVB builds, JSON persistence, coarse-to-fine refinement,
+and policy-driven refresh, all against the storage simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import CVBConfig, CVBSampler
+from repro.core.error_metrics import fractional_max_error
+from repro.engine import (
+    AutoStatistics,
+    RefreshPolicy,
+    StatisticsManager,
+    Table,
+)
+from repro.engine.serialization import (
+    dump_catalog,
+    load_catalog,
+    statistics_from_json,
+    statistics_to_json,
+)
+from repro.workloads import make_dataset
+
+
+class TestLifecycle:
+    def test_persist_reload_estimate(self):
+        """Statistics survive a round trip to JSON and answer the same."""
+        dataset = make_dataset("zipf1", 50_000, rng=0)
+        table = Table("t", {"x": dataset.values})
+        manager = StatisticsManager()
+        stats = manager.analyze(table, "x", k=40, f=0.2, rng=1)
+
+        reloaded = statistics_from_json(statistics_to_json(stats))
+        for lo, hi in [(5, 100), (200, 450), (1, 500)]:
+            assert reloaded.estimate_range(lo, hi) == pytest.approx(
+                stats.estimate_range(lo, hi)
+            )
+
+    def test_coarse_build_then_refine_cheaper_than_rebuild(self):
+        """Refining a coarse run to a tight target reads fewer fresh pages
+        than building the tight histogram from scratch."""
+        dataset = make_dataset("zipf0", 100_000, rng=2)
+        values = dataset.values
+
+        def heapfile():
+            from repro.storage import HeapFile
+
+            return HeapFile.from_values(
+                values, layout="random", rng=3, blocking_factor=50
+            )
+
+        coarse_hf = heapfile()
+        coarse = CVBSampler(CVBConfig(k=25, f=0.25)).run(coarse_hf, rng=4)
+        coarse_hf.iostats.reset()
+        refined = CVBSampler(CVBConfig(k=25, f=0.15)).refine(
+            coarse_hf, coarse, rng=5
+        )
+        fresh_pages = coarse_hf.iostats.page_reads
+
+        scratch_hf = heapfile()
+        scratch = CVBSampler(CVBConfig(k=25, f=0.15)).run(scratch_hf, rng=5)
+
+        assert refined.converged and scratch.converged
+        assert fresh_pages < scratch.pages_sampled
+        err = fractional_max_error(
+            refined.histogram.separators, refined.sample, values
+        )
+        assert err < 0.3
+
+    def test_catalog_survives_dump_and_refresh_cycle(self):
+        """Dump a multi-column catalog, reload it into a new manager, keep
+        refreshing with the auto policy."""
+        rng = np.random.default_rng(6)
+        table = Table(
+            "orders",
+            {
+                "qty": rng.integers(0, 500, size=30_000),
+                "amount": rng.lognormal(3, 1, size=30_000),
+            },
+        )
+        auto = AutoStatistics(policy=RefreshPolicy(fraction=0.1))
+        auto.analyze(table, "qty", k=20, f=0.25, rng=7)
+        auto.analyze(table, "amount", k=20, f=0.25, rng=8)
+
+        # Ship the catalog elsewhere.
+        restored = load_catalog(dump_catalog(auto.manager.catalog))
+        assert restored.keys() == [("orders", "amount"), ("orders", "qty")]
+
+        # Meanwhile the original keeps serving refreshes.
+        auto.record_modifications("orders", "qty", 10_000)
+        refreshed = auto.ensure_fresh(table, "qty", rng=9)
+        assert auto.refresh_count == 1
+        assert refreshed.n == 30_000
+
+    def test_all_columns_pipeline(self):
+        """analyze_all + catalog + range answers on every column."""
+        rng = np.random.default_rng(10)
+        table = Table(
+            "t",
+            {
+                "a": rng.integers(0, 1_000, size=20_000),
+                "b": rng.normal(50, 10, size=20_000),
+                "c": np.repeat(np.arange(200), 100),
+            },
+        )
+        manager = StatisticsManager()
+        results = manager.analyze_all(table, k=20, f=0.25, rng=11)
+        assert len(results) == 3
+        for name in ("a", "b", "c"):
+            column = table.column(name).sorted_values()
+            lo, hi = float(np.quantile(column, 0.2)), float(
+                np.quantile(column, 0.7)
+            )
+            truth = int(((column >= lo) & (column <= hi)).sum())
+            est = manager.estimate_range("t", name, lo, hi)
+            assert est == pytest.approx(truth, rel=0.25), name

@@ -1,0 +1,146 @@
+"""Tests for the intraclass-correlation / design-effect model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sampling.design_effect import (
+    design_effect,
+    effective_sample_size,
+    estimate_rho_from_pilot,
+    intraclass_correlation,
+    required_blocks_with_correlation,
+)
+from repro.storage import HeapFile
+
+
+def paged(values, b):
+    values = np.asarray(values)
+    return [values[i : i + b] for i in range(0, values.size, b)]
+
+
+class TestIntraclassCorrelation:
+    def test_random_placement_is_near_zero(self, rng):
+        values = rng.permutation(10_000)
+        rho = intraclass_correlation(paged(values, 50))
+        assert abs(rho) < 0.05
+
+    def test_sorted_placement_is_near_one(self):
+        values = np.arange(10_000)
+        rho = intraclass_correlation(paged(values, 50))
+        assert rho > 0.95
+
+    def test_partial_clustering_is_in_between(self, rng):
+        from repro.storage.layout import partially_clustered_layout
+
+        base = np.repeat(np.arange(200), 50)
+        partial = partially_clustered_layout(base, cluster_fraction=0.5, rng=rng)
+        rho_partial = intraclass_correlation(paged(partial, 50))
+        shuffled = base[rng.permutation(base.size)]
+        rho_random = intraclass_correlation(paged(shuffled, 50))
+        assert rho_random < rho_partial < 1.0
+
+    def test_distribution_free(self):
+        """Rank-based: a monotone transform of the values leaves rho fixed."""
+        values = np.arange(10_000, dtype=np.float64)
+        rho_linear = intraclass_correlation(paged(values, 50))
+        rho_exp = intraclass_correlation(paged(np.exp(values / 2_000), 50))
+        assert rho_linear == pytest.approx(rho_exp, abs=0.01)
+
+    def test_too_few_pages_rejected(self):
+        with pytest.raises(ParameterError):
+            intraclass_correlation([np.arange(10)])
+
+
+class TestDesignEffect:
+    def test_rho_zero_is_one(self):
+        assert design_effect(100, 0.0) == 1.0
+
+    def test_rho_one_is_b(self):
+        assert design_effect(100, 1.0) == 100.0
+
+    def test_effective_size_endpoints(self):
+        # Scenario (a): every tuple counts.  Scenario (b): one per page.
+        assert effective_sample_size(10_000, 100, 0.0) == 10_000
+        assert effective_sample_size(10_000, 100, 1.0) == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            design_effect(0, 0.5)
+        with pytest.raises(ParameterError):
+            design_effect(10, 2.0)
+        with pytest.raises(ParameterError):
+            effective_sample_size(-1, 10, 0.0)
+
+
+class TestPilotEstimation:
+    def test_detects_layouts(self):
+        values = np.repeat(np.arange(400), 50)
+        random_hf = HeapFile.from_values(
+            values, layout="random", rng=0, blocking_factor=50
+        )
+        sorted_hf = HeapFile.from_values(
+            values, layout="sorted", blocking_factor=50
+        )
+        rho_random = estimate_rho_from_pilot(random_hf, pilot_blocks=80, rng=1)
+        rho_sorted = estimate_rho_from_pilot(sorted_hf, pilot_blocks=80, rng=1)
+        assert rho_random < 0.1
+        assert rho_sorted > 0.8
+
+    def test_pilot_costs_page_reads(self):
+        hf = HeapFile.from_values(np.arange(10_000), rng=0, blocking_factor=50)
+        estimate_rho_from_pilot(hf, pilot_blocks=20, rng=1)
+        assert hf.iostats.page_reads == 20
+
+    def test_small_pilot_rejected(self):
+        hf = HeapFile.from_values(np.arange(100), rng=0, blocking_factor=10)
+        with pytest.raises(ParameterError):
+            estimate_rho_from_pilot(hf, pilot_blocks=1)
+
+
+class TestCorrectedBlockBudget:
+    def test_rho_zero_matches_paper_g0(self):
+        from repro.core import bounds
+
+        n, k, f, gamma, b = 10**6, 100, 0.2, 0.01, 100
+        g = required_blocks_with_correlation(n, k, f, gamma, b, rho=0.0)
+        assert g == bounds.initial_blocks(n, k, f, gamma, b)
+
+    def test_rho_one_matches_scenario_b(self):
+        from repro.core import bounds
+
+        n, k, f, gamma, b = 10**6, 100, 0.2, 0.01, 100
+        r = bounds.corollary1_sample_size(n, k, f, gamma)
+        g = required_blocks_with_correlation(n, k, f, gamma, b, rho=1.0)
+        assert g == r  # one useful tuple per page: g = r blocks
+
+    def test_monotone_in_rho(self):
+        budgets = [
+            required_blocks_with_correlation(10**6, 100, 0.2, 0.01, 100, rho)
+            for rho in (0.0, 0.2, 0.5, 1.0)
+        ]
+        assert budgets == sorted(budgets)
+
+    def test_prediction_matches_cvb_ordering(self):
+        """The model's predicted budgets order layouts the same way CVB's
+        measured spend does (random < partial < sorted)."""
+        from repro.experiments.runner import build_heapfile, cvb_sampling_cost
+        from repro.workloads import make_dataset
+
+        dataset = make_dataset("zipf2", 100_000, rng=2)
+        predictions, spends = [], []
+        for layout in ("random", "partial", "sorted"):
+            hf = build_heapfile(dataset.values, layout, 50, rng=3)
+            rho = estimate_rho_from_pilot(hf, pilot_blocks=60, rng=4)
+            predictions.append(
+                required_blocks_with_correlation(
+                    dataset.n, 50, 0.2, 0.01, 50, max(0.0, rho)
+                )
+            )
+            spends.append(
+                cvb_sampling_cost(
+                    hf, dataset.values, k=50, f=0.2, rng=5
+                ).blocks_sampled
+            )
+        assert predictions == sorted(predictions)
+        assert spends[0] <= spends[1] <= spends[2] * 1.01

@@ -1,0 +1,117 @@
+"""Tests for record-level sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sampling.record_sampler import (
+    bernoulli_sample,
+    reservoir_sample,
+    sample_records_from_file,
+    sample_with_replacement,
+    sample_without_replacement,
+)
+from repro.storage import HeapFile
+
+
+class TestWithReplacement:
+    def test_size(self, rng):
+        out = sample_with_replacement(np.arange(100), 250, rng)
+        assert out.size == 250
+
+    def test_values_come_from_population(self, rng):
+        pop = np.array([2, 4, 8])
+        out = sample_with_replacement(pop, 100, rng)
+        assert set(out) <= set(pop)
+
+    def test_zero_size(self, rng):
+        assert sample_with_replacement(np.arange(10), 0, rng).size == 0
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            sample_with_replacement(np.array([]), 5, rng)
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            sample_with_replacement(np.arange(10), -1, rng)
+
+    def test_approximately_uniform(self, rng):
+        pop = np.arange(10)
+        out = sample_with_replacement(pop, 100_000, rng)
+        counts = np.bincount(out, minlength=10)
+        assert abs(counts - 10_000).max() < 600  # ~6 sigma
+
+
+class TestWithoutReplacement:
+    def test_no_duplicates(self, rng):
+        out = sample_without_replacement(np.arange(1000), 500, rng)
+        assert np.unique(out).size == 500
+
+    def test_full_population(self, rng):
+        out = sample_without_replacement(np.arange(50), 50, rng)
+        np.testing.assert_array_equal(np.sort(out), np.arange(50))
+
+    def test_oversampling_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            sample_without_replacement(np.arange(10), 11, rng)
+
+
+class TestBernoulli:
+    def test_expected_size(self, rng):
+        out = bernoulli_sample(np.arange(100_000), 0.1, rng)
+        assert out.size == pytest.approx(10_000, rel=0.1)
+
+    def test_p_zero_and_one(self, rng):
+        assert bernoulli_sample(np.arange(100), 0.0, rng).size == 0
+        assert bernoulli_sample(np.arange(100), 1.0, rng).size == 100
+
+    def test_invalid_p_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            bernoulli_sample(np.arange(10), 1.5, rng)
+
+
+class TestReservoir:
+    def test_size_capped(self, rng):
+        out = reservoir_sample(iter(range(1000)), 32, rng)
+        assert out.size == 32
+
+    def test_short_stream_returned_whole(self, rng):
+        out = reservoir_sample(iter(range(5)), 32, rng)
+        np.testing.assert_array_equal(np.sort(out), np.arange(5))
+
+    def test_uniformity(self):
+        """Each element of a 20-stream should land in a 5-reservoir with
+        probability 1/4."""
+        hits = np.zeros(20)
+        for seed in range(3000):
+            out = reservoir_sample(iter(range(20)), 5, seed)
+            hits[out] += 1
+        expected = 3000 * 5 / 20
+        assert abs(hits - expected).max() < 120  # loose 4-sigma bound
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            reservoir_sample(iter(range(5)), -1, rng)
+
+
+class TestFromFile:
+    def test_each_record_costs_a_page(self, rng):
+        hf = HeapFile(np.arange(1000), blocking_factor=10)
+        out = sample_records_from_file(hf, 50, rng)
+        assert out.size == 50
+        assert hf.iostats.page_reads == 50
+
+    def test_without_replacement(self, rng):
+        hf = HeapFile(np.arange(100), blocking_factor=10)
+        out = sample_records_from_file(hf, 100, rng, with_replacement=False)
+        np.testing.assert_array_equal(np.sort(out), np.arange(100))
+
+    def test_without_replacement_oversample_rejected(self, rng):
+        hf = HeapFile(np.arange(10), blocking_factor=5)
+        with pytest.raises(ParameterError):
+            sample_records_from_file(hf, 11, rng, with_replacement=False)
+
+    def test_empty_file_rejected(self, rng):
+        hf = HeapFile(np.array([]), blocking_factor=5)
+        with pytest.raises(ParameterError):
+            sample_records_from_file(hf, 1, rng)

@@ -1,0 +1,90 @@
+"""Tests for CVB step schedules."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sampling.schedule import (
+    DoublingSchedule,
+    LinearSchedule,
+    SqrtSchedule,
+    make_schedule,
+)
+
+
+def first(schedule, count):
+    return list(itertools.islice(schedule.increments(), count))
+
+
+class TestDoubling:
+    def test_paper_sequence(self):
+        """g_0 = g, g_1 = g, g_2 = 2g, g_3 = 4g, ... (Section 4.2)."""
+        assert first(DoublingSchedule(5), 6) == [5, 5, 10, 20, 40, 80]
+
+    def test_each_increment_equals_total_so_far(self):
+        incs = first(DoublingSchedule(3), 8)
+        totals = list(itertools.accumulate(incs))
+        for i in range(1, len(incs)):
+            assert incs[i] == totals[i - 1]
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ParameterError):
+            DoublingSchedule(0)
+
+    def test_describe(self):
+        assert "doubling" in DoublingSchedule(4).describe()
+
+
+class TestLinear:
+    def test_constant(self):
+        assert first(LinearSchedule(7), 5) == [7] * 5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ParameterError):
+            LinearSchedule(-1)
+
+
+class TestSqrt:
+    def test_increment_is_5_sqrt_n_in_blocks(self):
+        sched = SqrtSchedule(n=1_000_000, blocking_factor=100)
+        incs = first(sched, 3)
+        # 5 * sqrt(1e6) = 5000 tuples = 50 blocks per step.
+        assert incs == [50, 50, 50]
+
+    def test_minimum_one_block(self):
+        sched = SqrtSchedule(n=100, blocking_factor=10_000)
+        assert first(sched, 2) == [1, 1]
+
+    def test_multiplier(self):
+        base = SqrtSchedule(n=1_000_000, blocking_factor=100)
+        double = SqrtSchedule(n=1_000_000, blocking_factor=100, multiplier=10)
+        assert first(double, 1)[0] == 2 * first(base, 1)[0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ParameterError):
+            SqrtSchedule(n=0, blocking_factor=10)
+        with pytest.raises(ParameterError):
+            SqrtSchedule(n=10, blocking_factor=0)
+        with pytest.raises(ParameterError):
+            SqrtSchedule(n=10, blocking_factor=10, multiplier=0)
+
+
+class TestFactory:
+    def test_doubling(self):
+        assert isinstance(make_schedule("doubling", 5), DoublingSchedule)
+
+    def test_linear(self):
+        assert isinstance(make_schedule("linear", 5), LinearSchedule)
+
+    def test_sqrt(self):
+        sched = make_schedule("sqrt", 5, n=10_000, blocking_factor=10)
+        assert isinstance(sched, SqrtSchedule)
+
+    def test_sqrt_needs_n_and_b(self):
+        with pytest.raises(ParameterError):
+            make_schedule("sqrt", 5)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ParameterError):
+            make_schedule("fibonacci", 5)

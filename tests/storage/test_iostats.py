@@ -1,0 +1,29 @@
+"""Tests for the I/O accounting counters."""
+
+from repro.storage.iostats import IOStats
+
+
+class TestIOStats:
+    def test_record_and_touch(self):
+        stats = IOStats()
+        stats.record_read(3)
+        stats.record_read(3)
+        stats.record_read(7)
+        assert stats.page_reads == 3
+        assert stats.pages_touched == 2
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(1)
+        stats.reset()
+        assert stats.page_reads == 0
+        assert stats.pages_touched == 0
+
+    def test_snapshot_is_plain_dict(self):
+        stats = IOStats()
+        stats.record_read(0)
+        snap = stats.snapshot()
+        assert snap == {"page_reads": 1, "pages_touched": 1}
+        # Snapshot is a copy: further reads do not mutate it.
+        stats.record_read(1)
+        assert snap["page_reads"] == 1

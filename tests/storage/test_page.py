@@ -1,0 +1,62 @@
+"""Tests for the record-level Page object."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PageFullError, ParameterError
+from repro.storage.page import Page
+
+
+class TestPage:
+    def test_append_and_read(self):
+        page = Page(page_id=0, capacity=4)
+        assert page.append(10) == 0
+        assert page.append(20) == 1
+        assert page.slot(0) == 10
+        assert page.slot(1) == 20
+        assert len(page) == 2
+
+    def test_full_page_rejects_append(self):
+        page = Page(page_id=0, capacity=2)
+        page.append(1)
+        page.append(2)
+        assert page.is_full
+        with pytest.raises(PageFullError):
+            page.append(3)
+
+    def test_free_slots(self):
+        page = Page(page_id=0, capacity=3)
+        assert page.free_slots == 3
+        page.append(1)
+        assert page.free_slots == 2
+
+    def test_values_in_slot_order(self):
+        page = Page(page_id=1, capacity=5)
+        for v in (3, 1, 2):
+            page.append(v)
+        np.testing.assert_array_equal(page.values(), [3, 1, 2])
+
+    def test_slot_out_of_range(self):
+        page = Page(page_id=0, capacity=3)
+        page.append(1)
+        with pytest.raises(IndexError):
+            page.slot(1)
+        with pytest.raises(IndexError):
+            page.slot(-1)
+
+    def test_from_values(self):
+        page = Page.from_values(2, np.array([5, 6, 7]), capacity=4)
+        assert len(page) == 3
+        assert page.page_id == 2
+
+    def test_from_values_overflow_rejected(self):
+        with pytest.raises(PageFullError):
+            Page.from_values(0, np.arange(10), capacity=5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            Page(page_id=0, capacity=0)
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(ParameterError):
+            Page(page_id=-1, capacity=4)

@@ -1,0 +1,59 @@
+"""Tests for record/page geometry."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.storage.record import DEFAULT_PAGE_SIZE, RecordSpec
+
+
+class TestRecordSpec:
+    def test_default_geometry(self):
+        spec = RecordSpec()
+        assert spec.page_size == DEFAULT_PAGE_SIZE == 8192
+        assert spec.blocking_factor > 0
+
+    def test_blocking_factor_shrinks_with_record_size(self):
+        sizes = [16, 32, 64, 128]
+        factors = [RecordSpec(record_size=s).blocking_factor for s in sizes]
+        assert factors == sorted(factors, reverse=True)
+        # Doubling record size roughly halves the blocking factor.
+        assert factors[0] == pytest.approx(2 * factors[1], rel=0.05)
+
+    def test_pages_for(self):
+        spec = RecordSpec(record_size=64)
+        b = spec.blocking_factor
+        assert spec.pages_for(0) == 0
+        assert spec.pages_for(1) == 1
+        assert spec.pages_for(b) == 1
+        assert spec.pages_for(b + 1) == 2
+        assert spec.pages_for(10 * b) == 10
+
+    def test_pages_for_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            RecordSpec().pages_for(-1)
+
+    def test_record_too_large_for_page_rejected(self):
+        with pytest.raises(ParameterError):
+            RecordSpec(record_size=9000, page_size=8192)
+
+    def test_non_positive_record_size_rejected(self):
+        with pytest.raises(ParameterError):
+            RecordSpec(record_size=0)
+
+    def test_for_blocking_factor_at_least_requested(self):
+        for target in (1, 10, 50, 100, 126):
+            spec = RecordSpec.for_blocking_factor(target)
+            assert spec.blocking_factor >= target
+
+    def test_for_blocking_factor_too_large_rejected(self):
+        with pytest.raises(ParameterError):
+            RecordSpec.for_blocking_factor(100_000)
+
+    def test_for_blocking_factor_non_positive_rejected(self):
+        with pytest.raises(ParameterError):
+            RecordSpec.for_blocking_factor(0)
+
+    def test_frozen(self):
+        spec = RecordSpec()
+        with pytest.raises(AttributeError):
+            spec.record_size = 32

@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPlan:
+    def test_solve_for_r(self, capsys):
+        code = main(["plan", "--n", "10000000", "--k", "600", "--f", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "required sample size" in out
+
+    def test_solve_for_f(self, capsys):
+        code = main(["plan", "--n", "10000000", "--k", "200", "--r", "800000"])
+        assert code == 0
+        assert "max error fraction" in capsys.readouterr().out
+
+    def test_solve_for_k(self, capsys):
+        code = main(
+            ["plan", "--n", "20000000", "--r", "1000000", "--f", "0.25"]
+        )
+        assert code == 0
+        assert "buckets" in capsys.readouterr().out
+
+    def test_wrong_arity_rejected(self, capsys):
+        code = main(["plan", "--n", "1000", "--k", "10"])
+        assert code == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_all_three_rejected(self, capsys):
+        code = main(
+            ["plan", "--n", "1000", "--k", "10", "--f", "0.2", "--r", "100"]
+        )
+        assert code == 2
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "zipf2", "--n", "20000", "--k", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zipf2" in out
+        assert "true distinct" in out
+
+    def test_demo_default_dataset(self, capsys):
+        code = main(["demo", "--n", "10000", "--k", "10"])
+        assert code == 0
+
+    def test_demo_layout_option(self, capsys):
+        code = main(
+            ["demo", "zipf0", "--n", "10000", "--k", "10", "--layout", "sorted"]
+        )
+        assert code == 0
+
+
+class TestAnalyze:
+    def test_npy_file(self, tmp_path, capsys):
+        path = tmp_path / "values.npy"
+        np.save(path, np.arange(20_000))
+        code = main(["analyze", str(path), "--k", "20", "--f", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=20,000" in out
+        assert "converged" in out
+
+    def test_csv_column_selection(self, tmp_path, capsys):
+        path = tmp_path / "table.csv"
+        rows = np.column_stack([np.arange(5000), np.arange(5000) * 2])
+        np.savetxt(path, rows, delimiter=",")
+        code = main(
+            ["analyze", str(path), "--column", "1", "--k", "10", "--f", "0.3"]
+        )
+        assert code == 0
+        assert "n=5,000" in capsys.readouterr().out
+
+    def test_show_buckets(self, tmp_path, capsys):
+        path = tmp_path / "values.npy"
+        np.save(path, np.arange(10_000))
+        code = main(
+            ["analyze", str(path), "--k", "10", "--f", "0.3",
+             "--show-buckets", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bucket   0" in out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        code = main(["analyze", "/nonexistent/file.npy"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_column_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "table.csv"
+        np.savetxt(path, np.arange(100).reshape(-1, 1), delimiter=",")
+        code = main(["analyze", str(path), "--column", "5"])
+        assert code == 1
+        assert "column 5" in capsys.readouterr().err
+
+    def test_fullscan_method(self, tmp_path, capsys):
+        path = tmp_path / "values.npy"
+        np.save(path, np.arange(5_000))
+        code = main(
+            ["analyze", str(path), "--method", "fullscan", "--k", "10"]
+        )
+        assert code == 0
+        assert "method=fullscan" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "mystery"])
+
+
+class TestSaveAndEstimate:
+    def test_roundtrip_through_files(self, tmp_path, capsys):
+        values_path = tmp_path / "values.npy"
+        np.save(values_path, np.arange(20_000))
+        stats_path = tmp_path / "stats.json"
+        assert (
+            main(
+                ["analyze", str(values_path), "--k", "20", "--f", "0.3",
+                 "--save", str(stats_path)]
+            )
+            == 0
+        )
+        assert stats_path.exists()
+        capsys.readouterr()
+
+        code = main(
+            ["estimate", str(stats_path), "--range", "0", "9999",
+             "--distinct"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows with 0 <= value <= 9999" in out
+        assert "distinct values" in out
+
+    def test_estimate_equals(self, tmp_path, capsys):
+        values_path = tmp_path / "values.npy"
+        np.save(values_path, np.repeat(np.arange(1000), 10))
+        stats_path = tmp_path / "stats.json"
+        main(["analyze", str(values_path), "--k", "10", "--f", "0.3",
+              "--save", str(stats_path)])
+        capsys.readouterr()
+        assert main(["estimate", str(stats_path), "--equals", "500"]) == 0
+        assert "value = 500" in capsys.readouterr().out
+
+    def test_estimate_without_query_hints(self, tmp_path, capsys):
+        values_path = tmp_path / "values.npy"
+        np.save(values_path, np.arange(5_000))
+        stats_path = tmp_path / "stats.json"
+        main(["analyze", str(values_path), "--k", "10", "--f", "0.3",
+              "--save", str(stats_path)])
+        capsys.readouterr()
+        assert main(["estimate", str(stats_path)]) == 0
+        assert "no query given" in capsys.readouterr().out
+
+    def test_estimate_missing_file(self, capsys):
+        assert main(["estimate", "/nonexistent/stats.json"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs clean and prints its takeaway.
+
+Examples are documentation; documentation that crashes is worse than none.
+Each runs as a real subprocess (the way a reader would run it) with a
+generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, a string its output must contain)
+EXAMPLES = [
+    ("quickstart.py", "achieved max error"),
+    ("sample_size_planner.py", "How much sampling"),
+    ("selectivity_estimation.py", "takeaway"),
+    ("adaptive_block_sampling.py", "takeaway"),
+    ("distinct_value_estimation.py", "rel-error"),
+    ("optimizer_pipeline.py", "optimizer picks"),
+    ("histogram_structures.py", "takeaway"),
+]
+
+
+@pytest.mark.parametrize("script,marker", EXAMPLES)
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_reproduce_paper_micro():
+    """The figure-regeneration script at its smallest scale."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "reproduce_paper.py"), "small", "2"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "all figures regenerated" in result.stdout
+    # Every figure block is present.
+    for token in ("Figure 3", "Figure 5", "Figure 6", "Figure 7", "Figure 8"):
+        assert token in result.stdout

@@ -1,0 +1,74 @@
+"""Tests for the named dataset factory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.workloads.datasets import DATASET_NAMES, make_dataset
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_names_build(self, name):
+        ds = make_dataset(name, 10_000, rng=0)
+        assert ds.n == 10_000
+        assert ds.name == name
+
+    def test_values_sorted(self):
+        ds = make_dataset("zipf2", 5_000, rng=1)
+        assert (np.diff(ds.values) >= 0).all()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            make_dataset("mystery", 100)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ParameterError):
+            make_dataset("zipf0", 0)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ParameterError):
+            make_dataset("zipf2", 100, rng=0, bogus=True)
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset("zipf2", 5_000, rng=9)
+        b = make_dataset("zipf2", 5_000, rng=9)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestShapes:
+    def test_zipf0_is_uniform(self):
+        ds = make_dataset("zipf0", 10_000, rng=0)
+        _, counts = np.unique(ds.values, return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+    def test_zipf4_is_highly_skewed(self):
+        ds = make_dataset("zipf4", 10_000, rng=0)
+        _, counts = np.unique(ds.values, return_counts=True)
+        assert counts.max() > 0.8 * ds.n
+
+    def test_skew_reduces_realised_distinct(self):
+        flat = make_dataset("zipf0", 50_000, rng=0)
+        skewed = make_dataset("zipf4", 50_000, rng=0)
+        assert skewed.num_distinct < flat.num_distinct
+
+    def test_unif_dup_multiplicity(self):
+        ds = make_dataset("unif_dup", 10_000, rng=0, duplicates_per_value=25)
+        _, counts = np.unique(ds.values, return_counts=True)
+        assert (counts == 25).all()
+        assert ds.params["duplicates_per_value"] == 25
+
+    def test_all_distinct(self):
+        ds = make_dataset("all_distinct", 1000)
+        assert ds.num_distinct == 1000
+
+    def test_num_distinct_override(self):
+        ds = make_dataset("zipf1", 10_000, rng=0, num_distinct=37)
+        assert ds.num_distinct <= 37
+        assert ds.params["num_distinct"] == 37
+
+    def test_describe_mentions_counts(self):
+        ds = make_dataset("zipf2", 5_000, rng=0)
+        text = ds.describe()
+        assert "zipf2" in text
+        assert "5,000" in text

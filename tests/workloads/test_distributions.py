@@ -1,0 +1,140 @@
+"""Tests for the non-Zipf value-set generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.workloads.distributions import (
+    all_distinct,
+    multiset_from_counts,
+    normal_values,
+    self_similar_counts,
+    self_similar_value_set,
+    uniform_random,
+    uniform_with_duplicates,
+)
+
+
+class TestAllDistinct:
+    def test_basic(self):
+        values = all_distinct(100)
+        assert np.unique(values).size == 100
+
+    def test_start_and_spacing(self):
+        values = all_distinct(5, start=10, spacing=3)
+        np.testing.assert_array_equal(values, [10, 13, 16, 19, 22])
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ParameterError):
+            all_distinct(10, spacing=0)
+
+
+class TestUniformWithDuplicates:
+    def test_every_value_exact_multiplicity(self):
+        values = uniform_with_duplicates(1000, 10)
+        _, counts = np.unique(values, return_counts=True)
+        assert (counts == 10).all()
+        assert counts.size == 100
+
+    def test_paper_unif_dup_shape(self):
+        """Section 7.2: 100 duplicates per value."""
+        values = uniform_with_duplicates(10_000, 100)
+        assert np.unique(values).size == 100
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ParameterError):
+            uniform_with_duplicates(1001, 10)
+
+    def test_invalid_multiplicity_rejected(self):
+        with pytest.raises(ParameterError):
+            uniform_with_duplicates(100, 0)
+
+
+class TestUniformRandom:
+    def test_bounds(self, rng):
+        values = uniform_random(10_000, low=5, high=50, rng=rng)
+        assert values.min() >= 5 and values.max() < 50
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            uniform_random(10, low=5, high=5, rng=rng)
+
+
+class TestNormal:
+    def test_moments(self, rng):
+        values = normal_values(100_000, mean=10, std=2, rng=rng)
+        assert values.mean() == pytest.approx(10, abs=0.1)
+        assert values.std() == pytest.approx(2, abs=0.1)
+
+    def test_invalid_std_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            normal_values(10, std=0, rng=rng)
+
+
+class TestSelfSimilar:
+    def test_sums_to_n(self):
+        counts = self_similar_counts(10_000, 64, h=0.2)
+        assert counts.sum() == 10_000
+
+    def test_head_gets_most_mass(self):
+        counts = self_similar_counts(10_000, 100, h=0.2)
+        head = counts[: max(1, int(100 * 0.2))].sum()
+        assert head >= 0.7 * 10_000  # ~80% in the first 20%
+
+    def test_h_half_is_flat_ish(self):
+        counts = self_similar_counts(1000, 8, h=0.5)
+        assert counts.max() - counts.min() <= counts.mean()
+
+    def test_invalid_h_rejected(self):
+        with pytest.raises(ParameterError):
+            self_similar_counts(100, 10, h=0.0)
+        with pytest.raises(ParameterError):
+            self_similar_counts(100, 10, h=0.7)
+
+    def test_value_set_size(self):
+        values = self_similar_value_set(5000, 50, rng=0)
+        assert values.size == 5000
+
+
+class TestMultisetFromCounts:
+    def test_expansion(self):
+        out = multiset_from_counts(np.array([1, 5, 9]), np.array([2, 0, 3]))
+        np.testing.assert_array_equal(out, [1, 1, 9, 9, 9])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            multiset_from_counts(np.array([1, 2]), np.array([1]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            multiset_from_counts(np.array([1]), np.array([-1]))
+
+
+class TestBimodal:
+    def test_two_modes_present(self, rng):
+        from repro.workloads.distributions import bimodal_values
+
+        values = bimodal_values(20_000, centers=(0.0, 100.0), rng=rng)
+        near_first = (np.abs(values - 0.0) < 5).mean()
+        near_second = (np.abs(values - 100.0) < 5).mean()
+        assert near_first > 0.4
+        assert near_second > 0.4
+        # The valley between is nearly empty.
+        valley = ((values > 20) & (values < 80)).mean()
+        assert valley < 0.01
+
+    def test_weight_controls_mix(self, rng):
+        from repro.workloads.distributions import bimodal_values
+
+        values = bimodal_values(20_000, weight=0.9, rng=rng)
+        assert (values < 50).mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_invalid_params(self, rng):
+        from repro.workloads.distributions import bimodal_values
+
+        with pytest.raises(ParameterError):
+            bimodal_values(10, weight=1.5, rng=rng)
+        with pytest.raises(ParameterError):
+            bimodal_values(10, stds=(0.0, 1.0), rng=rng)
+        with pytest.raises(ParameterError):
+            bimodal_values(-1, rng=rng)

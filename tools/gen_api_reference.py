@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Generate docs/API.md from the package's docstrings.
+
+Walks every public module of :mod:`repro`, collects the signatures and
+first docstring paragraphs of everything in ``__all__``, and renders one
+Markdown reference.  Regenerate after API changes:
+
+    python tools/gen_api_reference.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+MODULES = [
+    "repro",
+    "repro.core.histogram",
+    "repro.core.error_metrics",
+    "repro.core.bounds",
+    "repro.core.adaptive",
+    "repro.core.compressed",
+    "repro.core.equiwidth",
+    "repro.core.maxdiff",
+    "repro.core.merge",
+    "repro.core.serialization",
+    "repro.sampling.record_sampler",
+    "repro.sampling.block_sampler",
+    "repro.sampling.page_samplers",
+    "repro.sampling.schedule",
+    "repro.sampling.design_effect",
+    "repro.storage.heapfile",
+    "repro.storage.layout",
+    "repro.storage.page",
+    "repro.storage.record",
+    "repro.storage.iostats",
+    "repro.workloads.zipf",
+    "repro.workloads.distributions",
+    "repro.workloads.datasets",
+    "repro.workloads.queries",
+    "repro.distinct.frequency",
+    "repro.distinct.estimators",
+    "repro.distinct.bounds",
+    "repro.distinct.metrics",
+    "repro.engine.table",
+    "repro.engine.statistics",
+    "repro.engine.catalog",
+    "repro.engine.density",
+    "repro.engine.selectivity",
+    "repro.engine.joins",
+    "repro.engine.maintenance",
+    "repro.engine.serialization",
+    "repro.baselines.gmp",
+    "repro.baselines.psc",
+    "repro.experiments.config",
+    "repro.experiments.runner",
+    "repro.experiments.figures",
+    "repro.experiments.reporting",
+    "repro.cli",
+]
+
+
+def first_paragraph(doc: str | None) -> str:
+    if not doc:
+        return "*(undocumented)*"
+    paragraph = doc.strip().split("\n\n")[0]
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def render_module(module_name: str) -> list[str]:
+    module = importlib.import_module(module_name)
+    lines = [f"## `{module_name}`", ""]
+    lines.append(first_paragraph(module.__doc__))
+    lines.append("")
+    names = [n for n in getattr(module, "__all__", []) if not n.startswith("_")]
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is None or inspect.ismodule(obj):
+            continue
+        if inspect.isclass(obj):
+            lines.append(f"### class `{name}`")
+            lines.append("")
+            lines.append(first_paragraph(obj.__doc__))
+            lines.append("")
+            methods = [
+                (m_name, m)
+                for m_name, m in inspect.getmembers(obj)
+                if not m_name.startswith("_")
+                and (inspect.isfunction(m) or inspect.ismethod(m))
+                and m.__qualname__.startswith(obj.__name__ + ".")
+            ]
+            for m_name, m in methods:
+                lines.append(f"- `{m_name}{signature_of(m)}` — "
+                             f"{first_paragraph(m.__doc__)}")
+            if methods:
+                lines.append("")
+        elif callable(obj):
+            lines.append(f"### `{name}{signature_of(obj)}`")
+            lines.append("")
+            lines.append(first_paragraph(obj.__doc__))
+            lines.append("")
+        else:
+            lines.append(f"### data `{name}`")
+            lines.append("")
+            lines.append(f"`{obj!r}`"[:300])
+            lines.append("")
+    return lines
+
+
+def main() -> None:
+    out = [
+        "# API reference",
+        "",
+        "Auto-generated from docstrings by `tools/gen_api_reference.py`; "
+        "do not edit by hand.",
+        "",
+    ]
+    for module_name in MODULES:
+        out.extend(render_module(module_name))
+    target = ROOT / "docs" / "API.md"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text("\n".join(out) + "\n")
+    print(f"wrote {target} ({len(out)} lines)")
+
+
+if __name__ == "__main__":
+    main()
