@@ -11,8 +11,16 @@ from conftest import run_once
 from repro.experiments import figures, reporting
 
 
-def test_fig5_error_convergence_is_distribution_independent(benchmark, report):
-    result = run_once(benchmark, figures.figure5, seed=0)
+def test_fig5_error_convergence_is_distribution_independent(
+    benchmark, report, trial_workers, trial_chunk_size
+):
+    result = run_once(
+        benchmark,
+        figures.figure5,
+        seed=0,
+        workers=trial_workers,
+        chunk_size=trial_chunk_size,
+    )
     text = "\n\n".join(
         [
             reporting.paper_note(

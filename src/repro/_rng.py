@@ -13,7 +13,7 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs"]
+__all__ = ["RngLike", "ensure_rng", "spawn_seeds", "spawn_rngs"]
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -38,6 +38,21 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
+def spawn_seeds(rng: RngLike, count: int) -> list[int]:
+    """Derive *count* independent child **seeds** from *rng*.
+
+    This is the picklable half of :func:`spawn_rngs`: the integer seeds can
+    cross a process boundary, and ``np.random.default_rng(seed)`` on the far
+    side reproduces exactly the generator :func:`spawn_rngs` would have built
+    in-process.  The parallel trial engine relies on this to make worker
+    streams bit-identical to the serial path.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return [int(s) for s in parent.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     """Derive *count* independent child generators from *rng*.
 
@@ -45,8 +60,4 @@ def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     so they are statistically independent and stable across runs for a fixed
     parent seed.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]

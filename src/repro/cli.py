@@ -19,6 +19,11 @@ Four subcommands expose the library to shell users:
 ``demo``
     Generate one of the paper's synthetic datasets and run the full
     adaptive-sampling pipeline on it — a zero-setup tour.
+
+``figure``
+    Regenerate the data series behind one of the paper's figures (3-12),
+    optionally fanned out over worker processes with ``--workers`` /
+    ``--chunk-size`` — results are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -36,6 +41,18 @@ from .storage import LAYOUT_NAMES
 from .workloads import DATASET_NAMES, make_dataset
 
 __all__ = ["main", "build_parser"]
+
+
+def _rate_list(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(r) for r in text.split(",") if r.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        ) from None
+    if not rates:
+        raise argparse.ArgumentTypeError("expected at least one sampling rate")
+    return rates
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +126,46 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--f", type=float, default=0.2)
     demo.add_argument("--layout", choices=LAYOUT_NAMES, default="random")
     demo.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure's data series"
+    )
+    figure.add_argument(
+        "name",
+        choices=("3_4", "5", "6", "7", "8", "9", "10", "11", "12"),
+        help="which paper figure to regenerate",
+    )
+    figure.add_argument(
+        "--scale", choices=("small", "medium", "paper"), default=None,
+        help="experiment scale (default: $REPRO_SCALE or 'small')",
+    )
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the Monte-Carlo trials (default 1; "
+             "results are bit-identical for any value)",
+    )
+    figure.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="trials per worker task (default: auto)",
+    )
+    figure.add_argument(
+        "--n", type=int, default=None, help="override the scale's table size"
+    )
+    figure.add_argument(
+        "--k", type=int, default=None, help="override the bucket count"
+    )
+    figure.add_argument(
+        "--trials", type=int, default=None,
+        help="override trials per measured point",
+    )
+    figure.add_argument(
+        "--rates", default=None, metavar="R1,R2,...", type=_rate_list,
+        help="override the sampling-rate grid (comma-separated)",
+    )
+    figure.add_argument(
+        "--out", metavar="FILE", help="also write the table to FILE"
+    )
     return parser
 
 
@@ -237,6 +294,97 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _figure_scale(args):
+    """Resolve the experiment scale, applying any CLI overrides."""
+    import dataclasses
+
+    from .experiments.config import get_scale
+
+    scale = get_scale(args.scale)
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+        overrides["n_sweep"] = tuple(
+            max(args.n // 2 * (i + 1), 1) for i in range(4)
+        )
+    if args.k is not None:
+        overrides["k"] = args.k
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.rates is not None:
+        overrides["rates"] = args.rates
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import figures
+    from .experiments.reporting import format_series
+
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(
+            f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+            file=sys.stderr,
+        )
+        return 2
+
+    scale = _figure_scale(args)
+    kwargs = dict(
+        scale=scale,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    name = args.name
+    if name == "3_4":
+        result = figures.figures_3_and_4(**kwargs)
+        text = format_series("Figure 3 (sampling rate vs n)", [result["rate"]])
+        text += "\n" + format_series(
+            "Figure 4 (blocks sampled vs n)", [result["blocks"]]
+        )
+    elif name in ("5", "6", "7"):
+        driver = {
+            "5": figures.figure5, "6": figures.figure6, "7": figures.figure7
+        }[name]
+        result = driver(**kwargs)
+        series = result["series"]
+        if not isinstance(series, list):
+            series = [series]
+        text = format_series(f"Figure {name}", series)
+    elif name == "8":
+        result = figures.figure8(**kwargs)
+        text = format_series(
+            "Figure 8 (blocks sampled vs record size)", [result["blocks"]]
+        )
+        text += "\n" + format_series(
+            "Figure 8 (row sampling rate vs record size)", [result["rate"]]
+        )
+    else:
+        dataset = "zipf2" if name in ("9", "11") else "unif_dup"
+        driver = figures.figure9_10 if name in ("9", "10") else figures.figure11_12
+        result = driver(dataset, **kwargs)
+        keys = (
+            ("real", "sample", "estimate")
+            if name in ("9", "10")
+            else ("err_sample", "err_estimate")
+        )
+        text = format_series(
+            f"Figure {name} ({dataset})", [result[k] for k in keys]
+        )
+
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"series written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -246,6 +394,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _cmd_estimate,
         "plan": _cmd_plan,
         "demo": _cmd_demo,
+        "figure": _cmd_figure,
     }
     try:
         return handlers[args.command](args)

@@ -103,10 +103,29 @@ def merge_equi_height(
 
     bucket_edges = [mass_leq(s) for s in sep_array]
     edges = np.concatenate(([0.0], bucket_edges, [total]))
-    counts = np.maximum(0, np.round(np.diff(edges))).astype(np.int64)
+    # Largest-remainder apportionment: rounding each bucket independently and
+    # dumping the residual on the last bucket loses mass whenever that bucket
+    # is already (near-)empty — e.g. heavy duplication parks all the mass at
+    # one cut, the last bucket rounds to 0, and a negative residual gets
+    # clamped away.  Floor everything, then hand out the exact remainder to
+    # the buckets with the largest fractional parts.
+    raw = np.maximum(np.diff(edges), 0.0)
+    counts = np.floor(raw).astype(np.int64)
     shortfall = total - int(counts.sum())
-    if shortfall != 0 and counts.size:
-        counts[-1] = max(0, counts[-1] + shortfall)
+    if shortfall > 0:
+        order = np.argsort(-(raw - counts), kind="stable")
+        for i in range(shortfall):
+            counts[order[i % counts.size]] += 1
+    elif shortfall < 0:
+        # Only reachable through float noise in ``raw``; drain from the
+        # fullest buckets so counts stay non-negative.
+        deficit = -shortfall
+        for j in np.argsort(-counts, kind="stable"):
+            take = min(int(counts[j]), deficit)
+            counts[j] -= take
+            deficit -= take
+            if deficit == 0:
+                break
 
     # Carry over eq mass for separators both inputs can attest to.
     eq = np.zeros(sep_array.size, dtype=np.float64)

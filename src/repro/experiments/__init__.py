@@ -2,6 +2,13 @@
 series builders behind every figure of the paper's evaluation."""
 
 from .config import SCALES, ExperimentScale, get_scale
+from .parallel import (
+    TrialPool,
+    TrialRecord,
+    TrialStats,
+    resolve_workers,
+    run_trials,
+)
 from .figures import (
     figure5,
     figure6,
@@ -26,6 +33,11 @@ __all__ = [
     "SCALES",
     "ExperimentScale",
     "get_scale",
+    "TrialPool",
+    "TrialRecord",
+    "TrialStats",
+    "resolve_workers",
+    "run_trials",
     "figure5",
     "figure6",
     "figure7",

@@ -12,15 +12,18 @@ Scaled-down defaults come from :mod:`repro.experiments.config`; pass
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
-from .._rng import RngLike, spawn_rngs
+from .._rng import RngLike, spawn_rngs, spawn_seeds
 from ..distinct.estimators import GEEEstimator
 from ..distinct.metrics import rel_error
 from ..sampling.block_sampler import sample_blocks
 from ..storage.record import RecordSpec
 from ..workloads.datasets import make_dataset
 from .config import ExperimentScale, get_scale
+from .parallel import TrialPool, TrialRecord
 from .runner import (
     build_heapfile,
     mean_error_at_rate,
@@ -43,6 +46,8 @@ def figures_3_and_4(
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
     f: float | None = None,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figures 3 & 4: sampling rate and disk blocks sampled vs table size.
 
@@ -62,20 +67,23 @@ def figures_3_and_4(
     data_seed, sweep_seed = spawn_rngs(seed, 2)
     data_seed = int(data_seed.integers(0, 2**31))
     rngs = spawn_rngs(sweep_seed, len(scale.n_sweep))
-    for n, rng in zip(scale.n_sweep, rngs):
-        layout_rng, search_rng = spawn_rngs(rng, 2)
-        # One shared data seed: the same Zipf frequency permutation at every
-        # n, so only the tuple count varies along the sweep.
-        dataset = make_dataset("zipf2", n, rng=data_seed, num_distinct=universe)
-        heapfile = build_heapfile(
-            dataset.values, "random", scale.blocking_factor, rng=layout_rng
-        )
-        blocks = required_blocks_for_error(
-            heapfile, dataset.values, scale.k, f,
-            trials=max(scale.trials, 9), rng=search_rng,
-        )
-        rate_series.add(n, blocks * scale.blocking_factor / n)
-        blocks_series.add(n, blocks)
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for n, rng in zip(scale.n_sweep, rngs):
+            layout_rng, search_rng = spawn_rngs(rng, 2)
+            # One shared data seed: the same Zipf frequency permutation at
+            # every n, so only the tuple count varies along the sweep.
+            dataset = make_dataset(
+                "zipf2", n, rng=data_seed, num_distinct=universe
+            )
+            heapfile = build_heapfile(
+                dataset.values, "random", scale.blocking_factor, rng=layout_rng
+            )
+            blocks = required_blocks_for_error(
+                heapfile, dataset.values, scale.k, f,
+                trials=max(scale.trials, 9), rng=search_rng, pool=pool,
+            )
+            rate_series.add(n, blocks * scale.blocking_factor / n)
+            blocks_series.add(n, blocks)
     return {
         "rate": rate_series,
         "blocks": blocks_series,
@@ -89,6 +97,8 @@ def figure5(
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
     zs: tuple[float, ...] = (0, 2, 4),
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figure 5: max error vs sampling rate for Z in {0, 2, 4}.
 
@@ -99,25 +109,27 @@ def figure5(
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
     series_list = []
     rngs = spawn_rngs(seed, len(zs))
-    for z, rng in zip(zs, rngs):
-        data_rng, layout_rng, sample_rng = spawn_rngs(rng, 3)
-        dataset = make_dataset(f"zipf{int(z)}", scale.n, rng=data_rng)
-        heapfile = build_heapfile(
-            dataset.values, "random", scale.blocking_factor, rng=layout_rng
-        )
-        series = Series(f"Z={z:g}", "sampling_rate", "max_error")
-        trial_rngs = spawn_rngs(sample_rng, len(scale.rates))
-        for rate, trial_rng in zip(scale.rates, trial_rngs):
-            error = mean_error_at_rate(
-                heapfile,
-                dataset.values,
-                rate,
-                scale.k,
-                trials=scale.trials,
-                rng=trial_rng,
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for z, rng in zip(zs, rngs):
+            data_rng, layout_rng, sample_rng = spawn_rngs(rng, 3)
+            dataset = make_dataset(f"zipf{int(z)}", scale.n, rng=data_rng)
+            heapfile = build_heapfile(
+                dataset.values, "random", scale.blocking_factor, rng=layout_rng
             )
-            series.add(rate, error)
-        series_list.append(series)
+            series = Series(f"Z={z:g}", "sampling_rate", "max_error")
+            trial_rngs = spawn_rngs(sample_rng, len(scale.rates))
+            for rate, trial_rng in zip(scale.rates, trial_rngs):
+                error = mean_error_at_rate(
+                    heapfile,
+                    dataset.values,
+                    rate,
+                    scale.k,
+                    trials=scale.trials,
+                    rng=trial_rng,
+                    pool=pool,
+                )
+                series.add(rate, error)
+            series_list.append(series)
     return {"series": series_list, "k": scale.k, "scale": scale.name}
 
 
@@ -125,6 +137,8 @@ def figure6(
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
     f: float | None = None,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figure 6: sampling rate required vs number of bins (max error <= f).
 
@@ -142,12 +156,13 @@ def figure6(
         dataset.values, "random", scale.blocking_factor, rng=layout_rng
     )
     rngs = spawn_rngs(rest_rng, len(scale.bins_sweep))
-    for k, rng in zip(scale.bins_sweep, rngs):
-        blocks = required_blocks_for_error(
-            heapfile, dataset.values, k, f,
-            trials=max(scale.trials, 9), rng=rng,
-        )
-        series.add(k, blocks * scale.blocking_factor / dataset.n)
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for k, rng in zip(scale.bins_sweep, rngs):
+            blocks = required_blocks_for_error(
+                heapfile, dataset.values, k, f,
+                trials=max(scale.trials, 9), rng=rng, pool=pool,
+            )
+            series.add(k, blocks * scale.blocking_factor / dataset.n)
     return {"series": series, "f": f, "scale": scale.name}
 
 
@@ -155,6 +170,8 @@ def figure7(
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
     cluster_fraction: float = 0.2,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figure 7: max error vs sampling rate, random vs partially clustered.
 
@@ -167,28 +184,30 @@ def figure7(
     dataset = make_dataset("zipf2", scale.n, rng=data_rng)
     series_list = []
     layout_rngs = spawn_rngs(sweep_rng, 2)
-    for layout, layout_rng in zip(("random", "partial"), layout_rngs):
-        build_rng, sample_rng = spawn_rngs(layout_rng, 2)
-        heapfile = build_heapfile(
-            dataset.values,
-            layout,
-            scale.blocking_factor,
-            rng=build_rng,
-            cluster_fraction=cluster_fraction,
-        )
-        series = Series(layout, "sampling_rate", "max_error")
-        rate_rngs = spawn_rngs(sample_rng, len(scale.rates))
-        for rate, rate_rng in zip(scale.rates, rate_rngs):
-            error = mean_error_at_rate(
-                heapfile,
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for layout, layout_rng in zip(("random", "partial"), layout_rngs):
+            build_rng, sample_rng = spawn_rngs(layout_rng, 2)
+            heapfile = build_heapfile(
                 dataset.values,
-                rate,
-                scale.k,
-                trials=scale.trials,
-                rng=rate_rng,
+                layout,
+                scale.blocking_factor,
+                rng=build_rng,
+                cluster_fraction=cluster_fraction,
             )
-            series.add(rate, error)
-        series_list.append(series)
+            series = Series(layout, "sampling_rate", "max_error")
+            rate_rngs = spawn_rngs(sample_rng, len(scale.rates))
+            for rate, rate_rng in zip(scale.rates, rate_rngs):
+                error = mean_error_at_rate(
+                    heapfile,
+                    dataset.values,
+                    rate,
+                    scale.k,
+                    trials=scale.trials,
+                    rng=rate_rng,
+                    pool=pool,
+                )
+                series.add(rate, error)
+            series_list.append(series)
     return {"series": series_list, "k": scale.k, "scale": scale.name}
 
 
@@ -196,6 +215,8 @@ def figure8(
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
     f: float | None = None,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figure 8: sampling required vs record size (max error <= f, Z=2).
 
@@ -213,16 +234,19 @@ def figure8(
     blocks_series = Series("Z=2", "record_size", "blocks_sampled")
     rate_series = Series("Z=2", "record_size", "row_sampling_rate")
     rngs = spawn_rngs(sweep_rng, len(scale.record_sizes))
-    for record_size, rng in zip(scale.record_sizes, rngs):
-        layout_rng, search_rng = spawn_rngs(rng, 2)
-        b = RecordSpec(record_size=record_size).blocking_factor
-        heapfile = build_heapfile(dataset.values, "random", b, rng=layout_rng)
-        blocks = required_blocks_for_error(
-            heapfile, dataset.values, scale.k, f,
-            trials=max(scale.trials, 9), rng=search_rng,
-        )
-        blocks_series.add(record_size, blocks)
-        rate_series.add(record_size, blocks * b / dataset.n)
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for record_size, rng in zip(scale.record_sizes, rngs):
+            layout_rng, search_rng = spawn_rngs(rng, 2)
+            b = RecordSpec(record_size=record_size).blocking_factor
+            heapfile = build_heapfile(
+                dataset.values, "random", b, rng=layout_rng
+            )
+            blocks = required_blocks_for_error(
+                heapfile, dataset.values, scale.k, f,
+                trials=max(scale.trials, 9), rng=search_rng, pool=pool,
+            )
+            blocks_series.add(record_size, blocks)
+            rate_series.add(record_size, blocks * b / dataset.n)
     return {
         "blocks": blocks_series,
         "rate": rate_series,
@@ -232,10 +256,25 @@ def figure8(
     }
 
 
+def _dv_trial(task: tuple, seed: int) -> TrialRecord:
+    """Picklable per-trial kernel of the DV sweep: one block sample's
+    in-sample distinct count and GEE estimate."""
+    heapfile, num_blocks, n = task
+    before = heapfile.iostats.page_reads
+    sample = sample_blocks(heapfile, num_blocks, rng=seed)
+    samp = int(np.unique(sample).size)
+    est = GEEEstimator().estimate_from_sample(sample, n)
+    return TrialRecord(
+        (samp, est), page_reads=heapfile.iostats.page_reads - before
+    )
+
+
 def _distinct_value_sweep(
     dataset_name: str,
     scale: ExperimentScale,
     seed: RngLike,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Shared kernel of Figures 9-12: DV estimates across sampling rates."""
     data_rng, layout_rng, sweep_rng = spawn_rngs(seed, 3)
@@ -244,7 +283,6 @@ def _distinct_value_sweep(
         dataset.values, "random", scale.blocking_factor, rng=layout_rng
     )
     real = dataset.num_distinct
-    estimator = GEEEstimator()
 
     sample_series = Series("numDVSamp", "sampling_rate", "distinct")
     estimate_series = Series("numDVEst", "sampling_rate", "distinct")
@@ -253,21 +291,22 @@ def _distinct_value_sweep(
     err_estimate = Series("rel_error(est)", "sampling_rate", "rel_error")
 
     rate_rngs = spawn_rngs(sweep_rng, len(scale.rates))
-    for rate, rate_rng in zip(scale.rates, rate_rngs):
-        trial_rngs = spawn_rngs(rate_rng, scale.trials)
-        samp_vals, est_vals = [], []
-        num_blocks = max(1, round(rate * heapfile.num_pages))
-        for trial_rng in trial_rngs:
-            sample = sample_blocks(heapfile, num_blocks, rng=trial_rng)
-            samp_vals.append(int(np.unique(sample).size))
-            est_vals.append(estimator.estimate_from_sample(sample, dataset.n))
-        samp = float(np.mean(samp_vals))
-        est = float(np.mean(est_vals))
-        sample_series.add(rate, samp)
-        estimate_series.add(rate, est)
-        real_series.add(rate, real)
-        err_sample.add(rate, rel_error(samp, real, dataset.n))
-        err_estimate.add(rate, rel_error(est, real, dataset.n))
+    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        for rate, rate_rng in zip(scale.rates, rate_rngs):
+            seeds = spawn_seeds(rate_rng, scale.trials)
+            num_blocks = max(1, round(rate * heapfile.num_pages))
+            outcomes = pool.map(
+                partial(_dv_trial, (heapfile, num_blocks, dataset.n)), seeds
+            )
+            samp_vals = [s for s, _ in outcomes]
+            est_vals = [e for _, e in outcomes]
+            samp = float(np.mean(samp_vals))
+            est = float(np.mean(est_vals))
+            sample_series.add(rate, samp)
+            estimate_series.add(rate, est)
+            real_series.add(rate, real)
+            err_sample.add(rate, rel_error(samp, real, dataset.n))
+            err_estimate.add(rate, rel_error(est, real, dataset.n))
     return {
         "real": real_series,
         "sample": sample_series,
@@ -285,6 +324,8 @@ def figure9_10(
     dataset_name: str,
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figures 9 (Zipf Z=2) and 10 (Unif/Dup): distinct values — real vs
     in-sample vs GEE-estimated — across sampling rates.
@@ -296,13 +337,17 @@ def figure9_10(
     approaches it from below.
     """
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
-    return _distinct_value_sweep(dataset_name, scale, seed)
+    return _distinct_value_sweep(
+        dataset_name, scale, seed, workers=workers, chunk_size=chunk_size
+    )
 
 
 def figure11_12(
     dataset_name: str,
     scale: ExperimentScale | str | None = None,
     seed: RngLike = 0,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Figures 11 (Zipf Z=2) and 12 (Unif/Dup): the rel-error metric
     ``|d - e|/n`` of the GEE estimate vs sampling rate.
@@ -312,4 +357,6 @@ def figure11_12(
     reliably estimable even where ratio error cannot be (Theorem 8).
     """
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
-    return _distinct_value_sweep(dataset_name, scale, seed)
+    return _distinct_value_sweep(
+        dataset_name, scale, seed, workers=workers, chunk_size=chunk_size
+    )

@@ -1,0 +1,295 @@
+"""Deterministic parallel trial engine.
+
+Every figure and theorem validation in this reproduction averages over
+independent Monte-Carlo trials.  :class:`TrialPool` runs those trials across
+a process pool while guaranteeing **bit-identical results to the serial
+loop** for any worker count:
+
+- the caller derives one integer seed per trial *up front* (via
+  :func:`repro._rng.spawn_seeds`, i.e. before any work is distributed), so
+  trial ``i``'s randomness depends only on its own seed, never on which
+  worker ran it or in what order;
+- results are reassembled in submission order, so ``pool.map(fn, seeds)``
+  equals ``[fn(s) for s in seeds]`` element-for-element.
+
+``map`` transparently falls back to an in-process sequential loop when
+``max_workers=1``, when there is at most one trial, or when the callable /
+seeds cannot be pickled (closures, lambdas, bound locals) — the fallback
+produces the same floats, just without the fan-out.
+
+The pool also aggregates lightweight per-trial statistics
+(:class:`TrialStats`, exposed as ``pool.last_stats``): wall-clock time,
+summed in-trial compute time (whose ratio estimates the realised speedup),
+and page-read counts when trial callables opt in by returning
+:class:`TrialRecord`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "TrialRecord",
+    "TrialStats",
+    "TrialPool",
+    "run_trials",
+    "resolve_workers",
+]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request.
+
+    ``None`` means "auto": the ``REPRO_WORKERS`` environment variable if
+    set, else the machine's CPU count.  Anything below 1 is rejected.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ParameterError(f"workers must be an int or None, got {workers!r}")
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _validate_chunk_size(chunk_size: int | None) -> int | None:
+    if chunk_size is None:
+        return None
+    if not isinstance(chunk_size, int) or isinstance(chunk_size, bool):
+        raise ParameterError(
+            f"chunk_size must be a positive int or None, got {chunk_size!r}"
+        )
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Opt-in wrapper for one trial's result plus its I/O accounting.
+
+    Trial callables that want their page reads aggregated into
+    :class:`TrialStats` return ``TrialRecord(value, page_reads=...)``;
+    :meth:`TrialPool.map` unwraps the ``value`` so callers still receive a
+    plain list of results.
+    """
+
+    value: Any
+    page_reads: int = 0
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """What one :meth:`TrialPool.map` call spent.
+
+    ``trial_time_total_s`` sums the per-trial compute times measured inside
+    the workers; its ratio to ``elapsed_s`` estimates the realised speedup
+    (for the serial mode it is ~1 minus orchestration overhead).
+    """
+
+    trials: int
+    workers: int
+    chunk_size: int
+    num_chunks: int
+    mode: str  # "serial" or "process"
+    elapsed_s: float
+    trial_time_total_s: float
+    trial_time_max_s: float
+    page_reads: int
+
+    @property
+    def trial_time_mean_s(self) -> float:
+        return self.trial_time_total_s / self.trials if self.trials else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Realised speedup vs running the same trials back-to-back."""
+        return self.trial_time_total_s / self.elapsed_s if self.elapsed_s else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.trials} trials, {self.workers} worker(s) [{self.mode}], "
+            f"chunk={self.chunk_size}: wall {self.elapsed_s:.3f}s, "
+            f"compute {self.trial_time_total_s:.3f}s "
+            f"(speedup {self.speedup:.2f}x), page_reads={self.page_reads}"
+        )
+
+
+def _run_chunk(fn: Callable[[Any], Any], seeds: Sequence[Any]) -> list[tuple]:
+    """Worker-side kernel: run *fn* over a chunk of seeds, timing each."""
+    out = []
+    for seed in seeds:
+        start = time.perf_counter()
+        value = fn(seed)
+        out.append((value, time.perf_counter() - start))
+    return out
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class TrialPool:
+    """A deterministic trial mapper over an optional process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Default worker count for :meth:`map`; ``None`` resolves through
+        :func:`resolve_workers` (``REPRO_WORKERS`` env var, else CPU count).
+    chunk_size:
+        Default trials per worker task; ``None`` picks
+        ``ceil(trials / (4 * workers))`` so stragglers rebalance.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created lazily on the first parallel ``map`` and reused across calls
+    (figure sweeps issue many small maps); use the pool as a context manager
+    or call :meth:`close` to release the workers.
+    """
+
+    def __init__(
+        self, max_workers: int | None = 1, chunk_size: int | None = None
+    ):
+        self.max_workers = resolve_workers(max_workers)
+        self.chunk_size = _validate_chunk_size(chunk_size)
+        self.last_stats: TrialStats | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_workers: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = None
+
+    def __enter__(self) -> "TrialPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_executor(self, workers: int) -> ProcessPoolExecutor:
+        if self._executor is None or self._executor_workers != workers:
+            self.close()
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        seeds: Sequence[Any],
+        *,
+        chunk_size: int | None = None,
+        max_workers: int | None = None,
+    ) -> list:
+        """``[fn(s) for s in seeds]``, possibly fanned out over processes.
+
+        *seeds* are opaque picklable tokens (ints from
+        :func:`~repro._rng.spawn_seeds`, or tuples of them); the pool never
+        interprets them.  Output order always matches seed order, and the
+        values are bit-identical to the serial loop for any worker count.
+        """
+        workers = (
+            self.max_workers
+            if max_workers is None
+            else resolve_workers(max_workers)
+        )
+        chunk = (
+            self.chunk_size
+            if chunk_size is None
+            else _validate_chunk_size(chunk_size)
+        )
+        seeds = list(seeds)
+        start = time.perf_counter()
+
+        use_processes = (
+            workers > 1
+            and len(seeds) > 1
+            and _is_picklable((fn, seeds))
+        )
+        if use_processes:
+            if chunk is None:
+                chunk = max(1, math.ceil(len(seeds) / (4 * workers)))
+            chunks = [
+                seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
+            ]
+            executor = self._get_executor(workers)
+            futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
+            timed = [pair for future in futures for pair in future.result()]
+            mode = "process"
+            num_chunks = len(chunks)
+        else:
+            timed = _run_chunk(fn, seeds)
+            mode = "serial"
+            chunk = chunk or len(seeds) or 1
+            num_chunks = 1
+
+        elapsed = time.perf_counter() - start
+        durations = [d for _, d in timed]
+        results = [v for v, _ in timed]
+        page_reads = sum(
+            r.page_reads for r in results if isinstance(r, TrialRecord)
+        )
+        results = [
+            r.value if isinstance(r, TrialRecord) else r for r in results
+        ]
+        self.last_stats = TrialStats(
+            trials=len(seeds),
+            workers=workers if mode == "process" else 1,
+            chunk_size=chunk,
+            num_chunks=num_chunks,
+            mode=mode,
+            elapsed_s=elapsed,
+            trial_time_total_s=float(sum(durations)),
+            trial_time_max_s=float(max(durations, default=0.0)),
+            page_reads=page_reads,
+        )
+        return results
+
+
+def run_trials(
+    fn: Callable[[Any], Any],
+    seeds: Sequence[Any],
+    *,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    pool: TrialPool | None = None,
+) -> list:
+    """One-shot :meth:`TrialPool.map`.
+
+    Pass an existing *pool* to reuse its warm workers (and read
+    ``pool.last_stats`` afterwards); otherwise a throwaway pool is created
+    and torn down around the call.  ``max_workers=None`` defers to the
+    pool's configured worker count — or to a plain serial loop when no pool
+    is given.
+    """
+    if pool is not None:
+        return pool.map(fn, seeds, chunk_size=chunk_size, max_workers=max_workers)
+    with TrialPool(
+        max_workers=1 if max_workers is None else max_workers,
+        chunk_size=chunk_size,
+    ) as local:
+        return local.map(fn, seeds)

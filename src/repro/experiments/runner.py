@@ -15,10 +15,11 @@ on duplicate-free data; the count metric is available for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
-from .._rng import RngLike, ensure_rng, spawn_rngs
+from .._rng import RngLike, ensure_rng, spawn_seeds
 from ..core.adaptive import CVBConfig, CVBResult, CVBSampler
 from ..core.error_metrics import fractional_max_error, histogram_max_error_fraction
 from ..core.histogram import EquiHeightHistogram
@@ -26,6 +27,7 @@ from ..exceptions import ParameterError
 from ..sampling.block_sampler import sample_blocks
 from ..sampling.schedule import StepSchedule
 from ..storage.heapfile import HeapFile
+from .parallel import TrialPool, TrialRecord, run_trials
 
 __all__ = [
     "build_heapfile",
@@ -87,6 +89,14 @@ def error_at_rate(
     return histogram_quality(sample, sorted_values, k, metric=metric)
 
 
+def _error_at_rate_trial(task: tuple, seed: int) -> TrialRecord:
+    """Picklable per-trial kernel behind :func:`mean_error_at_rate`."""
+    heapfile, sorted_values, rate, k, metric = task
+    before = heapfile.iostats.page_reads
+    err = error_at_rate(heapfile, sorted_values, rate, k, rng=seed, metric=metric)
+    return TrialRecord(err, page_reads=heapfile.iostats.page_reads - before)
+
+
 def mean_error_at_rate(
     heapfile: HeapFile,
     sorted_values: np.ndarray,
@@ -96,6 +106,9 @@ def mean_error_at_rate(
     rng: RngLike = None,
     metric: str = "fractional",
     statistic: str = "median",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    pool: TrialPool | None = None,
 ) -> float:
     """Central :func:`error_at_rate` over *trials* independent samples.
 
@@ -103,6 +116,10 @@ def mean_error_at_rate(
     (one under-sampled separator range dominates the max), and a mean over a
     handful of trials chases that tail.  Pass ``statistic="mean"`` for the
     raw average.
+
+    Trials fan out over *workers* processes (or an existing *pool*); each
+    trial's stream derives only from its own spawned seed, so any worker
+    count returns bit-identical floats to the serial loop.
     """
     if trials <= 0:
         raise ParameterError(f"trials must be positive, got {trials}")
@@ -110,12 +127,23 @@ def mean_error_at_rate(
         raise ParameterError(
             f"statistic must be 'median' or 'mean', got {statistic!r}"
         )
-    rngs = spawn_rngs(rng, trials)
-    errors = [
-        error_at_rate(heapfile, sorted_values, rate, k, rng=r, metric=metric)
-        for r in rngs
-    ]
+    seeds = spawn_seeds(rng, trials)
+    fn = partial(
+        _error_at_rate_trial, (heapfile, sorted_values, rate, k, metric)
+    )
+    errors = run_trials(
+        fn, seeds, max_workers=workers, chunk_size=chunk_size, pool=pool
+    )
     return float(np.median(errors) if statistic == "median" else np.mean(errors))
+
+
+def _probe_trial(task: tuple, seed: int) -> TrialRecord:
+    """Picklable per-trial kernel behind :func:`required_blocks_for_error`."""
+    heapfile, sorted_values, k, metric, num_blocks = task
+    before = heapfile.iostats.page_reads
+    sample = sample_blocks(heapfile, num_blocks, rng=seed)
+    err = histogram_quality(sample, sorted_values, k, metric=metric)
+    return TrialRecord(err, page_reads=heapfile.iostats.page_reads - before)
 
 
 def required_blocks_for_error(
@@ -126,6 +154,9 @@ def required_blocks_for_error(
     trials: int = 9,
     rng: RngLike = None,
     metric: str = "fractional",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    pool: TrialPool | None = None,
 ) -> int:
     """Smallest number of sampled blocks whose median measured error is <= *f*.
 
@@ -134,18 +165,23 @@ def required_blocks_for_error(
     *trials* independent block samples at each probe.  (The CVB algorithm's
     own stopping point tracks this quantity from the data side; the
     ablation benchmark compares the two.)
+
+    The grid scan itself stays sequential (each probe decides the next),
+    but the *trials* inside every probe fan out over *workers* processes
+    with bit-identical results to the serial loop.
     """
     if not 0 < f <= 1:
         raise ParameterError(f"f must be in (0, 1], got {f}")
     generator = ensure_rng(rng)
 
     def mean_error(num_blocks: int) -> float:
-        errors = []
-        for trial_rng in spawn_rngs(generator.integers(0, 2**63), trials):
-            sample = sample_blocks(heapfile, num_blocks, rng=trial_rng)
-            errors.append(
-                histogram_quality(sample, sorted_values, k, metric=metric)
-            )
+        seeds = spawn_seeds(int(generator.integers(0, 2**63)), trials)
+        fn = partial(
+            _probe_trial, (heapfile, sorted_values, k, metric, num_blocks)
+        )
+        errors = run_trials(
+            fn, seeds, max_workers=workers, chunk_size=chunk_size, pool=pool
+        )
         # Median: the fractional max error has a heavy upper tail near the
         # threshold (one under-sampled range dominates the max), and a mean
         # over few trials would chase that tail.
@@ -225,6 +261,17 @@ def cvb_sampling_cost(
     )
 
 
+def _cvb_trial(task: tuple, seed_pair: tuple) -> TrialRecord:
+    """Picklable per-trial kernel behind :func:`mean_cvb_cost`."""
+    make_heapfile, sorted_values, k, f, kwargs = task
+    build_seed, run_seed = seed_pair
+    heapfile = make_heapfile(np.random.default_rng(build_seed))
+    cost = cvb_sampling_cost(
+        heapfile, sorted_values, k, f, rng=run_seed, **kwargs
+    )
+    return TrialRecord(cost, page_reads=heapfile.iostats.page_reads)
+
+
 def mean_cvb_cost(
     make_heapfile,
     sorted_values: np.ndarray,
@@ -232,25 +279,28 @@ def mean_cvb_cost(
     f: float,
     trials: int,
     rng: RngLike = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    pool: TrialPool | None = None,
     **kwargs,
 ) -> CVBCost:
     """Average CVB cost over *trials* runs.
 
     *make_heapfile* is a callable ``(rng) -> HeapFile`` so each trial gets an
     independent physical layout as well as an independent sample (matching
-    how the paper repeats runs).
+    how the paper repeats runs).  When it (and the extra config) pickles,
+    trials fan out over *workers* processes; a closure or lambda silently
+    degrades to the equivalent in-process loop, so results are identical
+    either way.
     """
     if trials <= 0:
         raise ParameterError(f"trials must be positive, got {trials}")
-    rngs = spawn_rngs(rng, 2 * trials)
-    costs = []
-    for i in range(trials):
-        heapfile = make_heapfile(rngs[2 * i])
-        costs.append(
-            cvb_sampling_cost(
-                heapfile, sorted_values, k, f, rng=rngs[2 * i + 1], **kwargs
-            )
-        )
+    seeds = spawn_seeds(rng, 2 * trials)
+    seed_pairs = [(seeds[2 * i], seeds[2 * i + 1]) for i in range(trials)]
+    fn = partial(_cvb_trial, (make_heapfile, sorted_values, k, f, kwargs))
+    costs = run_trials(
+        fn, seed_pairs, max_workers=workers, chunk_size=chunk_size, pool=pool
+    )
     return CVBCost(
         sampling_rate=float(np.mean([c.sampling_rate for c in costs])),
         blocks_sampled=int(round(np.mean([c.blocks_sampled for c in costs]))),

@@ -1,0 +1,67 @@
+"""Regression pins for ``merge_equi_height`` counterexamples.
+
+These are deterministic (non-property) copies of inputs Hypothesis once
+shrank to; keeping them as plain unit tests means the fixes can never
+silently regress even if future Hypothesis runs shrink differently.
+"""
+
+import numpy as np
+
+from repro.core.histogram import EquiHeightHistogram
+from repro.core.merge import merge_equi_height
+
+
+def hist_of(values, k):
+    return EquiHeightHistogram.from_values(np.asarray(values), k)
+
+
+class TestEmptyLeadingBucketCounterexample:
+    """The exact array Hypothesis shrank to: a count vector with empty
+    leading buckets and heavy duplication.  Rounding each merged bucket
+    independently left all mass at one cut; the old shortfall patch then
+    clamped a negative residual on an empty last bucket, inflating the
+    total (20 instead of 19)."""
+
+    A = np.array([201, 200, 200, 200, 200])
+    B = np.array([0, 0, 0] + [400] * 11)
+
+    def test_total_preserved(self):
+        left = hist_of(self.A, 4)
+        right = hist_of(self.B, 4)
+        merged = merge_equi_height(left, right, k=4)
+        assert merged.total == self.A.size + self.B.size == 19
+
+    def test_range_and_k_preserved(self):
+        merged = merge_equi_height(hist_of(self.A, 4), hist_of(self.B, 4), k=4)
+        assert merged.min_value == 0
+        assert merged.max_value == 400
+        assert merged.k == 4
+        assert (merged.counts >= 0).all()
+
+    def test_merge_order_does_not_change_total(self):
+        ab = merge_equi_height(hist_of(self.A, 4), hist_of(self.B, 4), k=4)
+        ba = merge_equi_height(hist_of(self.B, 4), hist_of(self.A, 4), k=4)
+        assert ab.total == ba.total == 19
+
+
+class TestHeavyDuplicationVariants:
+    """Nearby shapes that stress the same apportionment path."""
+
+    def test_single_hot_value_both_sides(self):
+        merged = merge_equi_height(
+            hist_of(np.full(100, 7.0), 3), hist_of(np.full(50, 7.0), 3), k=3
+        )
+        assert merged.total == 150
+
+    def test_point_mass_against_spread(self):
+        left = hist_of(np.full(997, 5.0), 5)
+        right = hist_of(np.arange(100), 5)
+        merged = merge_equi_height(left, right, k=5)
+        assert merged.total == 997 + 100
+
+    def test_zeros_then_far_cluster(self):
+        left = hist_of(np.array([0.0, 0.0, 0.0]), 2)
+        right = hist_of(np.array([1e6] * 9), 2)
+        merged = merge_equi_height(left, right, k=2)
+        assert merged.total == 12
+        assert (merged.counts >= 0).all()

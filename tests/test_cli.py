@@ -109,6 +109,72 @@ class TestAnalyze:
         assert "method=fullscan" in capsys.readouterr().out
 
 
+FIGURE_SMALL = [
+    "figure", "5", "--n", "20000", "--k", "10",
+    "--trials", "2", "--rates", "0.05,0.2",
+]
+
+
+class TestFigure:
+    def test_figure_runs_and_prints_series(self, capsys):
+        code = main(FIGURE_SMALL + ["--workers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "sampling_rate" in out
+        assert "Z=2" in out
+
+    def test_workers_do_not_change_the_numbers(self, capsys):
+        """--workers 2 must reproduce --workers 1 bit-for-bit."""
+        assert main(FIGURE_SMALL + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(FIGURE_SMALL + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_chunk_size_does_not_change_the_numbers(self, capsys):
+        assert main(FIGURE_SMALL + ["--workers", "2"]) == 0
+        auto_out = capsys.readouterr().out
+        assert main(FIGURE_SMALL + ["--workers", "2", "--chunk-size", "1"]) == 0
+        chunked_out = capsys.readouterr().out
+        assert chunked_out == auto_out
+
+    def test_zero_workers_is_clean_error(self, capsys):
+        code = main(FIGURE_SMALL + ["--workers", "0"])
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_negative_workers_is_clean_error(self, capsys):
+        code = main(FIGURE_SMALL + ["--workers", "-2"])
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_negative_chunk_size_is_clean_error(self, capsys):
+        code = main(FIGURE_SMALL + ["--chunk-size", "-1"])
+        assert code == 2
+        assert "--chunk-size must be >= 1" in capsys.readouterr().err
+
+    def test_out_file_written(self, tmp_path, capsys):
+        out_path = tmp_path / "fig5.txt"
+        code = main(FIGURE_SMALL + ["--out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        assert "Figure 5" in out_path.read_text()
+
+    def test_distinct_value_figure(self, capsys):
+        code = main(
+            ["figure", "9", "--n", "20000", "--k", "10", "--trials", "2",
+             "--rates", "0.05,0.2", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "numDVEst" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -58,6 +58,7 @@ MODULES = [
     "repro.baselines.gmp",
     "repro.baselines.psc",
     "repro.experiments.config",
+    "repro.experiments.parallel",
     "repro.experiments.runner",
     "repro.experiments.figures",
     "repro.experiments.reporting",
