@@ -52,9 +52,16 @@ from .core import (
     var_error,
 )
 from .distinct import FrequencyProfile, GEEEstimator, estimate_all, ratio_error, rel_error
-from .engine import ColumnStatistics, StatisticsManager, Table
-from .exceptions import ReproError
-from .storage import HeapFile, RecordSpec
+from .engine import AutoStatistics, ColumnStatistics, StatisticsManager, Table
+from .exceptions import BuildAbortedError, ReproError
+from .storage import (
+    FaultPolicy,
+    FaultyHeapFile,
+    HeapFile,
+    ReadBudget,
+    RecordSpec,
+    RetryPolicy,
+)
 from .workloads import Dataset, RangeQuery, make_dataset
 
 __version__ = "1.0.0"
@@ -89,12 +96,18 @@ __all__ = [
     "estimate_all",
     "ratio_error",
     "rel_error",
+    "AutoStatistics",
     "ColumnStatistics",
     "StatisticsManager",
     "Table",
+    "BuildAbortedError",
     "ReproError",
+    "FaultPolicy",
+    "FaultyHeapFile",
     "HeapFile",
+    "ReadBudget",
     "RecordSpec",
+    "RetryPolicy",
     "Dataset",
     "RangeQuery",
     "make_dataset",

@@ -24,6 +24,12 @@ Four subcommands expose the library to shell users:
     Regenerate the data series behind one of the paper's figures (3-12),
     optionally fanned out over worker processes with ``--workers`` /
     ``--chunk-size`` — results are bit-identical for any worker count.
+
+``chaos``
+    Fault-injection sweep: run the retrying CVB build against storage with
+    transient read failures and corrupt pages, and report the achieved
+    max-error against the Theorem-7 targets.  Deterministic for a fixed
+    ``--seed``, for any ``--workers``.
 """
 
 from __future__ import annotations
@@ -165,6 +171,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument(
         "--out", metavar="FILE", help="also write the table to FILE"
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep of the resilient CVB build"
+    )
+    chaos.add_argument(
+        "--fault-rate", dest="fault_rates", default=(0.0, 0.01, 0.05, 0.1),
+        metavar="R1,R2,...", type=_rate_list,
+        help="transient read-failure rates to sweep (default 0,0.01,0.05,0.1)",
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.01,
+        help="fraction of pages permanently corrupt (default 0.01)",
+    )
+    chaos.add_argument("--n", type=int, default=100_000, help="table rows")
+    chaos.add_argument("--k", type=int, default=50, help="histogram buckets")
+    chaos.add_argument(
+        "--f", type=float, default=0.2, help="target max error fraction"
+    )
+    chaos.add_argument(
+        "--dataset", default="zipf2", choices=DATASET_NAMES
+    )
+    chaos.add_argument(
+        "--trials", type=int, default=3, help="trials per fault rate"
+    )
+    chaos.add_argument(
+        "--blocking-factor", type=int, default=50, help="records per page"
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="read attempts per page before the page is skipped",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are bit-identical for any value)",
+    )
+    chaos.add_argument("--chunk-size", type=int, default=None)
+    chaos.add_argument(
+        "--out", metavar="FILE", help="also write the report to FILE"
     )
     return parser
 
@@ -385,6 +431,46 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .experiments.chaos import chaos_sweep, format_chaos_report
+
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    for rate in args.fault_rates:
+        if not 0.0 <= rate < 1.0:
+            print(
+                f"error: fault rates must be in [0, 1), got {rate}",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = chaos_sweep(
+        fault_rates=args.fault_rates,
+        n=args.n,
+        k=args.k,
+        f=args.f,
+        corrupt_fraction=args.corrupt,
+        blocking_factor=args.blocking_factor,
+        dataset=args.dataset,
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        max_attempts=args.max_attempts,
+    )
+    text = format_chaos_report(result)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -395,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "demo": _cmd_demo,
         "figure": _cmd_figure,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._rng import RngLike, ensure_rng
-from ..exceptions import ConvergenceError, ParameterError
+from ..exceptions import BuildAbortedError, ConvergenceError, ParameterError
 from ..sampling.block_sampler import BlockSampleStream
 from ..sampling.schedule import DoublingSchedule, StepSchedule
+from ..storage.faults import BudgetTracker, ReadBudget, RetryPolicy
 from ..storage.heapfile import HeapFile
 from .error_metrics import fractional_max_error, relative_deviation
 from .histogram import EquiHeightHistogram
@@ -150,6 +151,9 @@ class CVBResult:
     exhausted: bool = False
     pages_sampled: int = 0
     tuples_sampled: int = 0
+    #: Pages consumed from the sampling order but never delivered (fault
+    #: injection: corrupt, or transient retries exhausted).
+    pages_skipped: int = 0
     #: Ids of the pages that were read, in sampling order (enables refine).
     sampled_pages: np.ndarray | None = None
 
@@ -165,6 +169,11 @@ class CVBResult:
             f"CVB run: {'converged' if self.converged else 'budget-stopped'}"
             f"{' (file exhausted)' if self.exhausted else ''}, "
             f"{self.pages_sampled:,} pages / {self.tuples_sampled:,} tuples"
+            + (
+                f", {self.pages_skipped:,} unreadable pages skipped"
+                if self.pages_skipped
+                else ""
+            )
         ]
         for it in self.iterations:
             if it.index == 0:
@@ -182,11 +191,39 @@ class CVBResult:
 
 
 class CVBSampler:
-    """Runs the adaptive sampling algorithm of Section 4.2 on a heap file."""
+    """Runs the adaptive sampling algorithm of Section 4.2 on a heap file.
 
-    def __init__(self, config: CVBConfig, schedule: StepSchedule | None = None):
+    Parameters
+    ----------
+    config / schedule:
+        The paper's tuning knobs (see :class:`CVBConfig`).
+    retry:
+        Optional :class:`~repro.storage.faults.RetryPolicy`: transient read
+        faults are retried, and permanently unreadable pages are skipped
+        from the sampling order and replaced by fresh draws, so the
+        accumulated sample stays uniform over the readable pages.
+    budget:
+        Optional :class:`~repro.storage.faults.ReadBudget`: a per-build cap
+        on failures/skips/simulated time.  Exceeding it aborts the build
+        with :class:`~repro.exceptions.BuildAbortedError`.
+    """
+
+    def __init__(
+        self,
+        config: CVBConfig,
+        schedule: StepSchedule | None = None,
+        retry: RetryPolicy | None = None,
+        budget: ReadBudget | None = None,
+    ):
         self.config = config
         self._schedule = schedule
+        self._retry = retry
+        self._budget = budget
+
+    def _budget_tracker(self, heapfile: HeapFile) -> BudgetTracker | None:
+        if self._budget is None:
+            return None
+        return self._budget.tracker(heapfile.num_pages)
 
     def run(self, heapfile: HeapFile, rng: RngLike = None) -> CVBResult:
         """Build an approximate equi-height histogram for *heapfile*.
@@ -203,7 +240,12 @@ class CVBSampler:
         if n == 0:
             raise ParameterError("cannot build statistics over an empty file")
 
-        stream = BlockSampleStream(heapfile, rng=generator)
+        stream = BlockSampleStream(
+            heapfile,
+            rng=generator,
+            retry=self._retry,
+            budget=self._budget_tracker(heapfile),
+        )
         increments = self._increments_for(heapfile)
         page_budget = max(
             1, math.floor(cfg.max_sampled_fraction * heapfile.num_pages)
@@ -212,6 +254,11 @@ class CVBSampler:
         first_blocks = min(next(increments), page_budget)
         sample = np.sort(stream.take(first_blocks))
         if sample.size == 0:
+            if stream.pages_skipped:
+                raise BuildAbortedError(
+                    "initial sample is empty: every sampled page was "
+                    f"unreadable ({stream.pages_skipped} skipped)"
+                )
             raise ParameterError("initial sample is empty; file has no tuples")
         histogram = EquiHeightHistogram.from_sorted_values(sample, cfg.k)
 
@@ -261,7 +308,11 @@ class CVBSampler:
             )
         generator = ensure_rng(rng)
         stream = BlockSampleStream(
-            heapfile, rng=generator, exclude=previous.sampled_pages
+            heapfile,
+            rng=generator,
+            exclude=previous.sampled_pages,
+            retry=self._retry,
+            budget=self._budget_tracker(heapfile),
         )
         if self._schedule is not None:
             increments = self._schedule.increments()
@@ -405,6 +456,7 @@ class CVBSampler:
             exhausted=stream.exhausted,
             pages_sampled=int(sampled_pages.size),
             tuples_sampled=int(sample.size),
+            pages_skipped=stream.pages_skipped,
             sampled_pages=sampled_pages,
         )
 
@@ -447,11 +499,13 @@ def cvb_build(
     f: float = 0.1,
     gamma: float = 0.01,
     rng: RngLike = None,
+    retry: RetryPolicy | None = None,
+    budget: ReadBudget | None = None,
     **config_kwargs,
 ) -> CVBResult:
     """One-call convenience wrapper around :class:`CVBSampler`."""
     config = CVBConfig(k=k, f=f, gamma=gamma, **config_kwargs)
-    return CVBSampler(config).run(heapfile, rng=rng)
+    return CVBSampler(config, retry=retry, budget=budget).run(heapfile, rng=rng)
 
 
 def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:

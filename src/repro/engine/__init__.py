@@ -4,6 +4,7 @@ estimation — the catalog surface a query optimizer consumes."""
 from .catalog import Catalog
 from .joins import histogram_join_size, system_r_join_size, true_join_size
 from .maintenance import AutoStatistics, ModificationCounter, RefreshPolicy
+from .resilience import build_or_fallback, mark_degraded
 from .density import (
     column_density,
     density_from_counts,
@@ -36,6 +37,8 @@ __all__ = [
     "AutoStatistics",
     "ModificationCounter",
     "RefreshPolicy",
+    "build_or_fallback",
+    "mark_degraded",
     "column_density",
     "density_from_counts",
     "density_from_estimate",

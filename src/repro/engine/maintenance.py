@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from .._rng import RngLike
 from ..exceptions import ParameterError
+from .resilience import build_or_fallback
 from .statistics import ColumnStatistics, StatisticsManager
 from .table import Table
 
@@ -92,6 +93,8 @@ class AutoStatistics:
         self.policy = policy or RefreshPolicy()
         self.modifications = ModificationCounter()
         self.refresh_count = 0
+        #: How many refreshes aborted and served a degraded last-known-good.
+        self.degraded_count = 0
 
     def analyze(
         self, table: Table, column_name: str, rng: RngLike = None, **params
@@ -119,15 +122,31 @@ class AutoStatistics:
 
         The rebuild re-runs ANALYZE against the table's *current* column
         contents with the parameters of the previous build.
+
+        This method never raises :class:`~repro.exceptions.BuildAbortedError`:
+        when the rebuild dies (read budget exhausted, too many bad pages) the
+        last-known-good bundle is served instead, flagged ``degraded=True``.
+        The modification counter is *not* reset in that case, so the very
+        next read attempts the refresh again — a later successful rebuild
+        replaces the degraded bundle with a fresh, undegraded one.
         """
         stats = self.manager.statistics(table.name, column_name)
         if not self.is_stale(table.name, column_name):
             return stats
         params = dict(stats.build_params)
         params.setdefault("k", stats.histogram.k)
-        refreshed = self.manager.analyze(
-            table, column_name, method=stats.method, rng=rng, **params
+        refreshed, ok = build_or_fallback(
+            self.manager,
+            table,
+            column_name,
+            fallback=stats,
+            rng=rng,
+            method=stats.method,
+            **params,
         )
+        if not ok:
+            self.degraded_count += 1
+            return refreshed
         self.modifications.reset(table.name, column_name)
         self.refresh_count += 1
         return refreshed

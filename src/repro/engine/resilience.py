@@ -1,0 +1,71 @@
+"""Degraded-but-bounded statistics serving.
+
+A statistics refresh that dies halfway must not take the optimizer down
+with it: a self-tuning system degrades to its last-known-good answer and
+keeps serving (the stance of the self-tuning-histogram line of work), while
+making the degradation *explicit* so nobody mistakes a stale histogram for
+a fresh one.
+
+This module is the policy glue between the storage-level fault machinery
+(:mod:`repro.storage.faults`) and the catalog:
+
+- :func:`mark_degraded` — a copy of a bundle flagged ``degraded=True``.
+- :func:`build_or_fallback` — run ANALYZE; on
+  :class:`~repro.exceptions.BuildAbortedError` fall back to the last-known
+  -good bundle (flagged degraded) instead of raising.
+
+:class:`~repro.engine.maintenance.AutoStatistics` routes every auto-refresh
+through :func:`build_or_fallback`, which is what makes ``ensure_fresh``
+never raise: it either refreshes or returns a degraded last-known-good
+histogram.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .._rng import RngLike
+from ..exceptions import BuildAbortedError
+from .statistics import ColumnStatistics, StatisticsManager
+from .table import Table
+
+__all__ = ["mark_degraded", "build_or_fallback"]
+
+
+def mark_degraded(statistics: ColumnStatistics) -> ColumnStatistics:
+    """A shallow copy of *statistics* flagged ``degraded=True``.
+
+    The original bundle is left untouched (callers may hold references to
+    it); the copy shares the histogram/sample objects, which are treated as
+    immutable throughout the library.
+    """
+    return dataclasses.replace(statistics, degraded=True)
+
+
+def build_or_fallback(
+    manager: StatisticsManager,
+    table: Table,
+    column_name: str,
+    fallback: ColumnStatistics | None = None,
+    rng: RngLike = None,
+    **params,
+) -> tuple[ColumnStatistics, bool]:
+    """ANALYZE with graceful degradation.
+
+    Runs ``manager.analyze(table, column_name, **params)``.  When the build
+    aborts (read budget exhausted, too many bad pages) and a *fallback*
+    bundle is available, the fallback is marked degraded, written back to
+    the catalog (so direct catalog reads also see the flag), and returned.
+
+    Returns ``(statistics, refreshed)``: *refreshed* is False exactly when
+    the degraded fallback was served.  Without a fallback the abort
+    propagates — there is nothing bounded to degrade to.
+    """
+    try:
+        return manager.analyze(table, column_name, rng=rng, **params), True
+    except BuildAbortedError:
+        if fallback is None:
+            raise
+        degraded = mark_degraded(fallback)
+        manager.catalog.put(degraded)
+        return degraded, False

@@ -11,6 +11,7 @@ not the sample (SQL Server's stats blob works the same way).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 from ..core.serialization import histogram_from_dict, histogram_to_dict
@@ -30,6 +31,20 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
+def _jsonable_params(params: dict) -> dict:
+    """Build params with policy dataclasses flattened to plain dicts.
+
+    Resilience builds carry :class:`~repro.storage.faults.FaultPolicy` /
+    ``RetryPolicy`` / ``ReadBudget`` instances in ``build_params``; persisted
+    provenance keeps their fields but not the types (a stats blob stores
+    derived statistics, not live configuration objects).
+    """
+    return {
+        key: dataclasses.asdict(value) if dataclasses.is_dataclass(value) else value
+        for key, value in params.items()
+    }
+
+
 def statistics_to_dict(statistics: ColumnStatistics) -> dict:
     """JSON-safe dict form of a statistics bundle (sample/trace dropped)."""
     return {
@@ -45,7 +60,9 @@ def statistics_to_dict(statistics: ColumnStatistics) -> dict:
         "sample_size": statistics.sample_size,
         "pages_read": statistics.pages_read,
         "converged": statistics.converged,
-        "build_params": dict(statistics.build_params),
+        "degraded": statistics.degraded,
+        "io": dict(statistics.io),
+        "build_params": _jsonable_params(statistics.build_params),
     }
 
 
@@ -72,6 +89,8 @@ def statistics_from_dict(payload: dict) -> ColumnStatistics:
             sample_size=int(payload["sample_size"]),
             pages_read=int(payload["pages_read"]),
             converged=bool(payload["converged"]),
+            degraded=bool(payload.get("degraded", False)),
+            io=dict(payload.get("io", {})),
             build_params=dict(payload.get("build_params", {})),
         )
     except KeyError as exc:

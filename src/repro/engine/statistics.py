@@ -30,6 +30,13 @@ from ..distinct.estimators import DistinctValueEstimator, GEEEstimator
 from ..distinct.frequency import FrequencyProfile
 from ..sampling.record_sampler import sample_records_from_file
 from ..sampling.schedule import StepSchedule
+from ..storage.faults import (
+    FaultPolicy,
+    FaultyHeapFile,
+    ReadBudget,
+    RetryPolicy,
+    resilient_scan,
+)
 from ..storage.heapfile import HeapFile
 from ..workloads.queries import RangeQuery
 from .catalog import Catalog
@@ -61,6 +68,11 @@ class ColumnStatistics:
     cvb_result: CVBResult | None = None
     #: The accumulated (sorted) sample the statistics were derived from.
     sample: np.ndarray | None = None
+    #: True when this bundle is a stale last-known-good served because a
+    #: refresh was aborted (see :mod:`repro.engine.resilience`).
+    degraded: bool = False
+    #: I/O accounting snapshot of the build (page reads, retries, skips).
+    io: dict = field(default_factory=dict)
 
     @property
     def sampling_rate(self) -> float:
@@ -114,6 +126,7 @@ class ColumnStatistics:
             f"k={self.histogram.k} method={self.method} "
             f"sampled={self.sampling_rate:.2%} ({self.pages_read} pages) "
             f"density={self.density:.4g} distinct~{self.distinct_estimate:,.0f}"
+            + (" [DEGRADED: stale last-known-good]" if self.degraded else "")
         )
 
 
@@ -141,6 +154,9 @@ class StatisticsManager:
         heapfile: HeapFile | None = None,
         record_sample_size: int | None = None,
         schedule: StepSchedule | None = None,
+        fault_policy: FaultPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        read_budget: ReadBudget | None = None,
         **cvb_kwargs,
     ) -> ColumnStatistics:
         """Build statistics for ``table.column_name`` and store them.
@@ -155,6 +171,17 @@ class StatisticsManager:
         heapfile:
             Reuse an existing heap file (e.g. to control layout/blocking
             exactly); otherwise one is materialised with *layout*.
+        fault_policy:
+            Wrap the heap file in a
+            :class:`~repro.storage.faults.FaultyHeapFile` injecting these
+            faults (chaos testing).
+        retry / read_budget:
+            Resilience knobs forwarded to the build: transient faults are
+            retried, unreadable pages are skipped and replaced, and blowing
+            the budget aborts the build with
+            :class:`~repro.exceptions.BuildAbortedError` (which
+            :class:`~repro.engine.maintenance.AutoStatistics` turns into a
+            degraded last-known-good answer).
         """
         if method not in BUILD_METHODS:
             raise ParameterError(
@@ -163,14 +190,17 @@ class StatisticsManager:
         generator = ensure_rng(rng)
         if heapfile is None:
             heapfile = table.to_heapfile(column_name, layout=layout, rng=generator)
+        if fault_policy is not None and not isinstance(heapfile, FaultyHeapFile):
+            heapfile = FaultyHeapFile(heapfile, fault_policy)
         n = heapfile.num_records
+        io_baseline = heapfile.iostats.snapshot()
 
         cvb_result: CVBResult | None = None
         if method == "cvb":
             config = CVBConfig(k=k, f=f, gamma=gamma, **cvb_kwargs)
-            cvb_result = CVBSampler(config, schedule=schedule).run(
-                heapfile, rng=generator
-            )
+            cvb_result = CVBSampler(
+                config, schedule=schedule, retry=retry, budget=read_budget
+            ).run(heapfile, rng=generator)
             histogram = cvb_result.histogram
             sample = cvb_result.sample
             pages_read = cvb_result.pages_sampled
@@ -180,14 +210,39 @@ class StatisticsManager:
                 record_sample_size = min(
                     n, bounds.corollary1_sample_size(n, k, f, gamma)
                 )
-            sample = np.sort(
-                sample_records_from_file(heapfile, record_sample_size, generator)
+            tracker = (
+                read_budget.tracker(heapfile.num_pages) if read_budget else None
             )
+            sample = np.sort(
+                sample_records_from_file(
+                    heapfile,
+                    record_sample_size,
+                    generator,
+                    retry=retry,
+                    budget=tracker,
+                )
+            )
+            if sample.size == 0:
+                raise BuildAbortedError(
+                    "record sample is empty: no readable records"
+                )
             histogram = EquiHeightHistogram.from_sorted_values(sample, k)
             pages_read = heapfile.iostats.page_reads
             converged = True
         else:  # fullscan
-            sample = np.sort(heapfile.scan())
+            if retry is not None or read_budget is not None:
+                tracker = (
+                    read_budget.tracker(heapfile.num_pages)
+                    if read_budget
+                    else None
+                )
+                sample = np.sort(
+                    resilient_scan(heapfile, retry=retry, budget=tracker)
+                )
+                if sample.size == 0:
+                    raise BuildAbortedError("full scan found no readable pages")
+            else:
+                sample = np.sort(heapfile.scan())
             histogram = EquiHeightHistogram.from_sorted_values(sample, k)
             pages_read = heapfile.iostats.page_reads
             converged = True
@@ -197,6 +252,21 @@ class StatisticsManager:
         density = density_from_estimate(n, distinct_estimate)
         selfjoin = selfjoin_density_from_sample(sample, n=n)
 
+        io_after = heapfile.iostats.snapshot()
+        io = {
+            key: io_after[key] - io_baseline.get(key, 0)
+            for key in io_after
+            if key != "pages_touched"
+        }
+        resilience_params = {
+            name: value
+            for name, value in (
+                ("fault_policy", fault_policy),
+                ("retry", retry),
+                ("read_budget", read_budget),
+            )
+            if value is not None
+        }
         statistics = ColumnStatistics(
             table_name=table.name,
             column_name=column_name,
@@ -214,10 +284,12 @@ class StatisticsManager:
                 "f": f,
                 "gamma": gamma,
                 "layout": layout,
+                **resilience_params,
                 **cvb_kwargs,
             },
             cvb_result=cvb_result,
             sample=sample,
+            io=io,
         )
         self.catalog.put(statistics)
         return statistics

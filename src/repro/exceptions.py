@@ -15,9 +15,12 @@ __all__ = [
     "EmptyDataError",
     "InfeasibleBoundError",
     "ConvergenceError",
+    "BuildAbortedError",
     "StorageError",
     "PageFullError",
     "UnknownLayoutError",
+    "TransientIOError",
+    "PageCorruptionError",
     "CatalogError",
     "StatisticsNotFoundError",
 ]
@@ -60,6 +63,27 @@ class ConvergenceError(ReproError):
         self.result = result
 
 
+class BuildAbortedError(ReproError):
+    """A statistics build was abandoned before producing a usable result.
+
+    Raised by the resilience layer when a read budget runs out or too many
+    pages turn out to be unreadable (see
+    :class:`repro.storage.faults.ReadBudget`).  Carries whatever partial
+    accounting was available so callers can report why the build died.
+
+    All constructor arguments flow through ``Exception.args``, keeping the
+    instance picklable across process boundaries (``TrialPool`` workers
+    re-raise these in the parent process).
+    """
+
+    def __init__(self, message: str, snapshot: dict | None = None):
+        super().__init__(message, snapshot)
+        self.snapshot = snapshot or {}
+
+    def __str__(self) -> str:  # hide the snapshot arg from the rendering
+        return str(self.args[0])
+
+
 class StorageError(ReproError):
     """Base class for errors in the storage simulator."""
 
@@ -70,6 +94,38 @@ class PageFullError(StorageError):
 
 class UnknownLayoutError(StorageError, ValueError):
     """A heap file was requested with an unrecognised layout name."""
+
+
+class TransientIOError(StorageError, IOError):
+    """A page read failed in a way that a retry may fix.
+
+    The fault-injection layer raises this for simulated flaky reads; the
+    retrying access paths (:class:`repro.storage.faults.RetryPolicy`) catch
+    it, back off, and try again.
+    """
+
+    def __init__(self, message: str, page_id: int = -1, attempt: int = 0):
+        super().__init__(message, page_id, attempt)
+        self.page_id = page_id
+        self.attempt = attempt
+
+    def __str__(self) -> str:
+        return str(self.args[0])
+
+
+class PageCorruptionError(StorageError):
+    """A page's payload failed its checksum: the page is permanently bad.
+
+    Retrying cannot help; resilient builds skip the page and redraw a fresh
+    one so the accumulated sample stays uniform over the readable pages.
+    """
+
+    def __init__(self, message: str, page_id: int = -1):
+        super().__init__(message, page_id)
+        self.page_id = page_id
+
+    def __str__(self) -> str:
+        return str(self.args[0])
 
 
 class CatalogError(ReproError):

@@ -1,6 +1,12 @@
 """Experiment harness: scaled configurations, measurement kernels, and the
 series builders behind every figure of the paper's evaluation."""
 
+from .chaos import (
+    ChaosPoint,
+    ChaosTrialResult,
+    chaos_sweep,
+    format_chaos_report,
+)
 from .config import SCALES, ExperimentScale, get_scale
 from .parallel import (
     TrialPool,
@@ -30,6 +36,10 @@ from .runner import (
 )
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosTrialResult",
+    "chaos_sweep",
+    "format_chaos_report",
     "SCALES",
     "ExperimentScale",
     "get_scale",

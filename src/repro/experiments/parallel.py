@@ -180,6 +180,28 @@ class TrialPool:
             self._executor = None
             self._executor_workers = None
 
+    def _terminate(self) -> None:
+        """Tear the pool down hard: kill workers, drop the executor.
+
+        Used on the failure path (worker crash, ``KeyboardInterrupt``): a
+        graceful ``shutdown(wait=True)`` would block behind whatever the
+        surviving workers are still chewing on, turning one poisoned trial
+        into a hang.  Terminating loses the warm pool, which is the right
+        trade when the map is being abandoned anyway; the next parallel
+        ``map`` starts a fresh executor.
+        """
+        if self._executor is None:
+            return
+        executor, self._executor = self._executor, None
+        self._executor_workers = None
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+
     def __enter__(self) -> "TrialPool":
         return self
 
@@ -238,7 +260,17 @@ class TrialPool:
             ]
             executor = self._get_executor(workers)
             futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
-            timed = [pair for future in futures for pair in future.result()]
+            try:
+                timed = [pair for future in futures for pair in future.result()]
+            except BaseException:
+                # A trial raised (the worker re-raises it here), a worker
+                # process died, or the user hit Ctrl-C.  Cancel what hasn't
+                # started, kill the workers, and surface the original
+                # exception instead of hanging on stragglers.
+                for future in futures:
+                    future.cancel()
+                self._terminate()
+                raise
             mode = "process"
             num_chunks = len(chunks)
         else:

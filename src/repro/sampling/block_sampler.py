@@ -8,6 +8,13 @@ algorithm (:mod:`repro.core.adaptive`) adapts to.
 :class:`BlockSampleStream` is the incremental access path CVB uses: it hands
 out successive batches of previously unsampled pages, so the accumulated
 sample is a uniform page sample without replacement.
+
+All access paths optionally take a
+:class:`~repro.storage.faults.RetryPolicy` (plus a
+:class:`~repro.storage.faults.BudgetTracker`): transient read faults are
+then retried with backoff, and permanently unreadable pages are *skipped and
+replaced by fresh page draws*, so the accumulated sample stays uniform over
+the readable pages.  Without a faulty file these knobs change nothing.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import numpy as np
 
 from .._rng import RngLike, ensure_rng
 from ..exceptions import ParameterError
+from ..storage.faults import BudgetTracker, RetryPolicy, read_page_resilient
 from ..storage.heapfile import HeapFile
 
 __all__ = ["sample_block_ids", "sample_blocks", "BlockSampleStream"]
@@ -47,12 +55,34 @@ def sample_blocks(
     num_blocks: int,
     rng: RngLike = None,
     with_replacement: bool = False,
+    retry: RetryPolicy | None = None,
+    budget: BudgetTracker | None = None,
 ) -> np.ndarray:
-    """All tuples from *num_blocks* uniformly sampled pages."""
+    """All tuples from *num_blocks* uniformly sampled pages.
+
+    With *retry*, transient faults are retried and permanently unreadable
+    pages are dropped from the result (a uniform sample restricted to
+    readable pages is still uniform over them); without it, faults
+    propagate.
+    """
     page_ids = sample_block_ids(
         heapfile.num_pages, num_blocks, rng, with_replacement
     )
-    return heapfile.read_pages(page_ids)
+    if retry is None and budget is None:
+        return heapfile.read_pages(page_ids)
+    chunks = [
+        payload
+        for pid in page_ids
+        if (
+            payload := read_page_resilient(
+                heapfile, int(pid), retry=retry, budget=budget
+            )
+        )
+        is not None
+    ]
+    if not chunks:
+        return heapfile.values_unaccounted()[:0]
+    return np.concatenate(chunks)
 
 
 class BlockSampleStream:
@@ -66,6 +96,12 @@ class BlockSampleStream:
     Pass *exclude* to sample only from pages not already consumed by an
     earlier stream — the resume path of
     :meth:`repro.core.adaptive.CVBSampler.refine`.
+
+    Pass *retry* (and optionally *budget*) to survive fault injection:
+    transient faults are retried, and a permanently unreadable page is
+    consumed from the shuffled order (so it is never offered again) but
+    replaced by the next fresh page, keeping each batch at the requested
+    size whenever readable pages remain.
     """
 
     def __init__(
@@ -73,8 +109,13 @@ class BlockSampleStream:
         heapfile: HeapFile,
         rng: RngLike = None,
         exclude: np.ndarray | None = None,
+        retry: RetryPolicy | None = None,
+        budget: BudgetTracker | None = None,
     ):
         self._file = heapfile
+        self._retry = retry
+        self._budget = budget
+        self._skipped: list[int] = []
         generator = ensure_rng(rng)
         if exclude is None or len(exclude) == 0:
             candidates = np.arange(heapfile.num_pages)
@@ -92,37 +133,73 @@ class BlockSampleStream:
 
     @property
     def pages_taken(self) -> int:
-        """Pages handed out so far."""
+        """Pages consumed so far (delivered + permanently skipped)."""
         return self._cursor
 
     @property
+    def pages_skipped(self) -> int:
+        """Pages consumed but never delivered (permanently unreadable)."""
+        return len(self._skipped)
+
+    @property
+    def skipped_ids(self) -> np.ndarray:
+        """Ids of the permanently unreadable pages, in encounter order."""
+        return np.asarray(self._skipped, dtype=np.int64)
+
+    @property
     def exhausted(self) -> bool:
-        """True when every candidate page has been sampled."""
+        """True when every candidate page has been consumed."""
         return self._cursor >= self._order.size
 
     @property
     def taken_ids(self) -> np.ndarray:
-        """Page ids handed out so far, in sampling order."""
+        """Page ids consumed so far, in sampling order."""
         return self._order[: self._cursor].copy()
 
+    def _next_readable(self, num_blocks: int) -> list[np.ndarray]:
+        """Payloads of the next *num_blocks* readable pages.
+
+        Consumes the shuffled order; unreadable pages are recorded in
+        ``skipped_ids`` and replaced by further draws, so fewer than
+        *num_blocks* payloads are returned only when the order runs out.
+        """
+        chunks: list[np.ndarray] = []
+        fast_path = self._retry is None and self._budget is None
+        while len(chunks) < num_blocks and self._cursor < self._order.size:
+            pid = int(self._order[self._cursor])
+            self._cursor += 1
+            if fast_path:
+                chunks.append(self._file.read_page(pid))
+                continue
+            payload = read_page_resilient(
+                self._file, pid, retry=self._retry, budget=self._budget
+            )
+            if payload is None:
+                self._skipped.append(pid)
+                continue
+            chunks.append(payload)
+        return chunks
+
     def take(self, num_blocks: int) -> np.ndarray:
-        """Values from the next *num_blocks* sampled pages.
+        """Values from the next *num_blocks* sampled (readable) pages.
 
         Returns fewer tuples when the file runs out of unsampled pages (the
-        degenerate case where adaptive sampling has scanned the whole table).
+        degenerate case where adaptive sampling has scanned the whole table,
+        or fault injection has exhausted the readable pages).
         """
         if num_blocks < 0:
             raise ParameterError(
                 f"num_blocks must be non-negative, got {num_blocks}"
             )
-        take_ids = self._order[self._cursor : self._cursor + num_blocks]
-        self._cursor += take_ids.size
-        return self._file.read_pages(take_ids)
+        chunks = self._next_readable(num_blocks)
+        if not chunks:
+            return self._file.values_unaccounted()[:0]
+        return np.concatenate(chunks)
 
     def take_one_tuple_per_block(
         self, num_blocks: int, rng: RngLike = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Next *num_blocks* pages, plus one random tuple from each.
+        """Next *num_blocks* readable pages, plus one random tuple from each.
 
         Implements the cross-validation "twist" of Section 4.2: validate with
         a single randomly chosen tuple per sampled block (eliminating
@@ -132,13 +209,9 @@ class BlockSampleStream:
         Returns ``(all_tuples, one_per_block)``.
         """
         generator = ensure_rng(rng)
-        take_ids = self._order[self._cursor : self._cursor + num_blocks]
-        self._cursor += take_ids.size
-        full_chunks = []
+        full_chunks = self._next_readable(num_blocks)
         representatives = []
-        for pid in take_ids:
-            payload = self._file.read_page(int(pid))
-            full_chunks.append(payload)
+        for payload in full_chunks:
             if payload.size:
                 representatives.append(
                     payload[int(generator.integers(0, payload.size))]
@@ -146,5 +219,5 @@ class BlockSampleStream:
         if full_chunks:
             all_tuples = np.concatenate(full_chunks)
         else:
-            all_tuples = self._file.read_pages([])
+            all_tuples = self._file.values_unaccounted()[:0]
         return all_tuples, np.asarray(representatives)

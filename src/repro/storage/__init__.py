@@ -6,6 +6,16 @@ a disk block, and how many blocks a sampling strategy reads — is modelled
 exactly; device timing is deliberately out of scope.
 """
 
+from .faults import (
+    BudgetTracker,
+    FaultPolicy,
+    FaultyHeapFile,
+    ReadBudget,
+    RetryPolicy,
+    read_page_resilient,
+    read_record_resilient,
+    resilient_scan,
+)
 from .heapfile import HeapFile
 from .iostats import IOStats
 from .layout import (
@@ -16,12 +26,21 @@ from .layout import (
     sorted_layout,
     value_runs_layout,
 )
-from .page import Page
+from .page import Page, page_checksum
 from .record import DEFAULT_PAGE_SIZE, RecordSpec
 
 __all__ = [
+    "BudgetTracker",
+    "FaultPolicy",
+    "FaultyHeapFile",
+    "ReadBudget",
+    "RetryPolicy",
+    "read_page_resilient",
+    "read_record_resilient",
+    "resilient_scan",
     "HeapFile",
     "IOStats",
+    "page_checksum",
     "LAYOUT_NAMES",
     "apply_layout",
     "partially_clustered_layout",

@@ -1,8 +1,20 @@
 """I/O accounting for the storage simulator.
 
 The paper reports sampling cost in *disk blocks read* (e.g. Figure 4).  The
-simulator's only cost model is therefore a page-read counter: every page
+simulator's primary cost model is therefore a page-read counter: every page
 fetched from a :class:`~repro.storage.heapfile.HeapFile` increments it.
+
+The fault-injection layer (:mod:`repro.storage.faults`) adds failure
+accounting on top, so cost curves stay honest under degraded builds:
+
+- ``failed_reads`` — read attempts that raised (transient fault or checksum
+  mismatch); these are *not* counted as ``page_reads``, which only tallies
+  successfully delivered pages.
+- ``retries`` — re-attempts issued by a retry policy after a transient fault.
+- ``pages_skipped`` — pages permanently given up on (corrupt, or transient
+  retries exhausted) and replaced by fresh draws.
+- ``simulated_latency_s`` — simulated time spent on read latency and
+  backoff delays (no real sleeping happens unless explicitly requested).
 """
 
 from __future__ import annotations
@@ -19,29 +31,80 @@ class IOStats:
     Attributes
     ----------
     page_reads:
-        Number of page fetches since construction or the last ``reset``.
+        Number of successful page fetches since construction or the last
+        ``reset``.
     pages_touched:
         Distinct pages fetched (re-reading a cached page still counts as a
         ``page_read`` but not as a new touched page).
+    failed_reads / retries / pages_skipped / simulated_latency_s:
+        Fault accounting; see the module docstring.
     """
 
     page_reads: int = 0
-    _touched: set = field(default_factory=set, repr=False)
+    failed_reads: int = 0
+    retries: int = 0
+    pages_skipped: int = 0
+    simulated_latency_s: float = 0.0
+    _touched: set[int] = field(default_factory=set, repr=False)
 
     @property
     def pages_touched(self) -> int:
         return len(self._touched)
 
     def record_read(self, page_id: int) -> None:
-        """Account for one read of *page_id*."""
+        """Account for one successful read of *page_id*."""
         self.page_reads += 1
         self._touched.add(page_id)
 
+    def record_failed_read(self, page_id: int) -> None:
+        """Account for a read attempt of *page_id* that raised."""
+        self.failed_reads += 1
+
+    def record_retry(self, page_id: int) -> None:
+        """Account for one retry issued after a transient fault."""
+        self.retries += 1
+
+    def record_skip(self, page_id: int) -> None:
+        """Account for permanently giving up on *page_id*."""
+        self.pages_skipped += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """Accumulate *seconds* of simulated read/backoff latency."""
+        self.simulated_latency_s += seconds
+
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters, including the fault counters."""
         self.page_reads = 0
+        self.failed_reads = 0
+        self.retries = 0
+        self.pages_skipped = 0
+        self.simulated_latency_s = 0.0
         self._touched.clear()
+
+    def merge(self, other: "IOStats") -> "IOStats":
+        """Fold *other*'s counters into this one (returns ``self``).
+
+        Used to aggregate per-trial accounting shipped back from
+        :class:`~repro.experiments.parallel.TrialPool` workers.  Touched-page
+        sets are unioned, which is only meaningful when both sides refer to
+        the same file; across distinct files treat ``pages_touched`` of the
+        merge as approximate.
+        """
+        self.page_reads += other.page_reads
+        self.failed_reads += other.failed_reads
+        self.retries += other.retries
+        self.pages_skipped += other.pages_skipped
+        self.simulated_latency_s += other.simulated_latency_s
+        self._touched |= other._touched
+        return self
 
     def snapshot(self) -> dict:
         """A plain-dict copy of the counters, for reporting."""
-        return {"page_reads": self.page_reads, "pages_touched": self.pages_touched}
+        return {
+            "page_reads": self.page_reads,
+            "pages_touched": self.pages_touched,
+            "failed_reads": self.failed_reads,
+            "retries": self.retries,
+            "pages_skipped": self.pages_skipped,
+            "simulated_latency_s": self.simulated_latency_s,
+        }

@@ -9,13 +9,27 @@ sampling.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import PageFullError, ParameterError
+from ..exceptions import PageCorruptionError, PageFullError, ParameterError
 
-__all__ = ["Page"]
+__all__ = ["Page", "page_checksum"]
+
+
+def page_checksum(values: np.ndarray) -> int:
+    """CRC-32 of a page payload's raw bytes.
+
+    This is the integrity check the fault-injection layer uses to *detect*
+    simulated corruption: a :class:`~repro.storage.faults.FaultyHeapFile`
+    tampers with a bad page's payload and the mismatch against the checksum
+    computed at load time surfaces as a
+    :class:`~repro.exceptions.PageCorruptionError`.
+    """
+    payload = np.ascontiguousarray(np.asarray(values))
+    return zlib.crc32(payload.tobytes())
 
 
 @dataclass
@@ -63,6 +77,21 @@ class Page:
     def values(self) -> np.ndarray:
         """All stored values, in slot order."""
         return np.asarray(self._values)
+
+    def checksum(self) -> int:
+        """Checksum of the page's current payload (see :func:`page_checksum`)."""
+        return page_checksum(self.values())
+
+    def verify_checksum(self, expected: int) -> None:
+        """Raise :class:`PageCorruptionError` unless the payload matches
+        *expected* (a checksum taken when the page was known good)."""
+        actual = self.checksum()
+        if actual != expected:
+            raise PageCorruptionError(
+                f"page {self.page_id} failed its checksum "
+                f"(expected {expected:#010x}, got {actual:#010x})",
+                page_id=self.page_id,
+            )
 
     def slot(self, index: int):
         """The value in slot *index* (raises ``IndexError`` when empty)."""

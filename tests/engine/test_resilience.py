@@ -1,0 +1,196 @@
+"""Tests for degraded-but-bounded statistics serving.
+
+``ensure_fresh`` must never raise :class:`BuildAbortedError`: an aborted
+refresh serves the last-known-good bundle flagged ``degraded=True``, keeps
+the staleness counter armed, and a later successful rebuild replaces the
+degraded bundle with a fresh one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AutoStatistics,
+    StatisticsManager,
+    Table,
+    build_or_fallback,
+    mark_degraded,
+)
+from repro.engine.serialization import statistics_from_dict, statistics_to_dict
+from repro.exceptions import BuildAbortedError
+from repro.storage import FaultPolicy, ReadBudget, RetryPolicy
+
+N = 20_000
+
+
+@pytest.fixture
+def table():
+    return Table("t", {"x": np.arange(1, N + 1)})
+
+
+def analyze_kwargs(**overrides):
+    """ANALYZE parameters for a build that survives heavy transient faults."""
+    kwargs = dict(
+        k=10,
+        f=0.3,
+        fault_policy=FaultPolicy(transient_rate=0.5, seed=1),
+        retry=RetryPolicy(max_attempts=8, seed=2),
+        read_budget=ReadBudget(max_failed_reads=1_000_000),
+        rng=0,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def sabotage(stats):
+    """Tighten the remembered budget so the next auto-refresh aborts."""
+    stats.build_params["read_budget"] = ReadBudget(max_failed_reads=2)
+
+
+def heal(stats):
+    stats.build_params["read_budget"] = ReadBudget(max_failed_reads=1_000_000)
+
+
+class TestMarkDegraded:
+    def test_copy_is_flagged_original_untouched(self, table):
+        manager = StatisticsManager()
+        stats = manager.analyze(table, "x", k=10, f=0.3, rng=0)
+        degraded = mark_degraded(stats)
+        assert degraded.degraded and not stats.degraded
+        assert degraded.histogram is stats.histogram  # shallow copy
+        assert "DEGRADED" in degraded.summary()
+        assert "DEGRADED" not in stats.summary()
+
+
+class TestBuildOrFallback:
+    def test_success_path_refreshes(self, table):
+        manager = StatisticsManager()
+        stats, refreshed = build_or_fallback(
+            manager, table, "x", k=10, f=0.3, rng=0
+        )
+        assert refreshed
+        assert not stats.degraded
+
+    def test_abort_serves_degraded_fallback_and_updates_catalog(self, table):
+        manager = StatisticsManager()
+        good = manager.analyze(table, "x", k=10, f=0.3, rng=0)
+        stats, refreshed = build_or_fallback(
+            manager,
+            table,
+            "x",
+            fallback=good,
+            k=10,
+            f=0.3,
+            rng=1,
+            fault_policy=FaultPolicy(transient_rate=0.5, seed=1),
+            retry=RetryPolicy(max_attempts=2, seed=2),
+            read_budget=ReadBudget(max_failed_reads=2),
+        )
+        assert not refreshed
+        assert stats.degraded
+        # Direct catalog reads see the flag too.
+        assert manager.statistics("t", "x").degraded
+
+    def test_abort_without_fallback_propagates(self, table):
+        manager = StatisticsManager()
+        with pytest.raises(BuildAbortedError):
+            build_or_fallback(
+                manager,
+                table,
+                "x",
+                k=10,
+                f=0.3,
+                rng=1,
+                fault_policy=FaultPolicy(transient_rate=0.5, seed=1),
+                retry=RetryPolicy(max_attempts=2, seed=2),
+                read_budget=ReadBudget(max_failed_reads=2),
+            )
+
+
+class TestEnsureFreshDegradation:
+    def test_aborted_refresh_serves_degraded_then_recovers(self, table):
+        auto = AutoStatistics()
+        stats = auto.analyze(table, "x", **analyze_kwargs())
+        assert not stats.degraded
+
+        auto.record_modifications("t", "x", N)  # well past the 20% threshold
+        sabotage(stats)
+        served = auto.ensure_fresh(table, "x", rng=5)  # must NOT raise
+        assert served.degraded
+        assert auto.degraded_count == 1
+        assert auto.refresh_count == 0
+        # Staleness is still armed: the counter was not reset.
+        assert auto.is_stale("t", "x")
+
+        # Next read retries the refresh; with a workable budget it succeeds
+        # and the degraded bundle is replaced by a fresh one.
+        heal(served)
+        fresh = auto.ensure_fresh(table, "x", rng=6)
+        assert not fresh.degraded
+        assert auto.refresh_count == 1
+        assert not auto.is_stale("t", "x")
+        assert not auto.manager.statistics("t", "x").degraded
+
+    def test_fresh_statistics_untouched_without_staleness(self, table):
+        auto = AutoStatistics()
+        stats = auto.analyze(table, "x", **analyze_kwargs())
+        assert auto.ensure_fresh(table, "x") is not None
+        assert auto.degraded_count == 0
+
+    def test_degraded_bundle_keeps_serving_estimates(self, table):
+        auto = AutoStatistics()
+        stats = auto.analyze(table, "x", **analyze_kwargs())
+        auto.record_modifications("t", "x", N)
+        sabotage(stats)
+        served = auto.ensure_fresh(table, "x", rng=5)
+        # Bounded answer: the stale histogram still estimates sanely.
+        est = served.estimate_range(1, N)
+        assert est == pytest.approx(N, rel=0.35)
+
+
+class TestDegradedSerialization:
+    def test_degraded_and_io_round_trip(self, table):
+        manager = StatisticsManager()
+        stats = manager.analyze(
+            table,
+            "x",
+            k=10,
+            f=0.3,
+            rng=0,
+            fault_policy=FaultPolicy(transient_rate=0.2, seed=3),
+            retry=RetryPolicy(max_attempts=6, seed=4),
+            read_budget=ReadBudget(max_skipped_fraction=0.5),
+        )
+        clone = statistics_from_dict(statistics_to_dict(mark_degraded(stats)))
+        assert clone.degraded
+        assert clone.io == stats.io
+        assert clone.io["page_reads"] > 0
+
+    def test_old_payloads_default_to_not_degraded(self, table):
+        manager = StatisticsManager()
+        stats = manager.analyze(table, "x", k=10, f=0.3, rng=0)
+        payload = statistics_to_dict(stats)
+        payload.pop("degraded")
+        payload.pop("io")
+        clone = statistics_from_dict(payload)
+        assert clone.degraded is False
+        assert clone.io == {}
+
+    def test_resilience_params_serialize_to_plain_json_types(self, table):
+        import json
+
+        manager = StatisticsManager()
+        stats = manager.analyze(
+            table,
+            "x",
+            k=10,
+            f=0.3,
+            rng=0,
+            fault_policy=FaultPolicy(transient_rate=0.2, seed=3),
+            retry=RetryPolicy(max_attempts=6, seed=4),
+            read_budget=ReadBudget(max_failed_reads=100),
+        )
+        payload = statistics_to_dict(stats)
+        json.dumps(payload)  # must not choke on the dataclass knobs

@@ -241,5 +241,59 @@ class TestRunnerKernelEquivalence:
         assert b == required_blocks_for_error(hf, values, 20, 0.25, trials=4, rng=3)
 
 
+def _poison(seed: int) -> float:
+    """A trial kernel that blows up on one specific seed."""
+    if seed == 13:
+        raise RuntimeError("poisoned trial 13")
+    return float(np.random.default_rng(seed).random())
+
+
+class TestCleanShutdownOnFailure:
+    """A crashing trial must surface its exception promptly — not hang the
+    map behind surviving workers — and leave the pool reusable."""
+
+    def test_poison_pill_surfaces_original_exception(self):
+        pool = TrialPool(max_workers=2, chunk_size=1)
+        try:
+            with pytest.raises(RuntimeError, match="poisoned trial 13"):
+                pool.map(_poison, [1, 2, 13, 4, 5, 6])
+        finally:
+            pool.close()
+
+    def test_workers_are_torn_down_after_poison(self):
+        pool = TrialPool(max_workers=2, chunk_size=1)
+        try:
+            with pytest.raises(RuntimeError):
+                pool.map(_poison, [13, 1, 2, 3])
+            # The executor was terminated, not left half-dead.
+            assert pool._executor is None
+        finally:
+            pool.close()
+
+    def test_pool_usable_again_after_poison(self):
+        seeds = [1, 2, 3, 4]
+        expected = [_poison(s) for s in seeds]
+        with TrialPool(max_workers=2, chunk_size=1) as pool:
+            with pytest.raises(RuntimeError):
+                pool.map(_poison, [5, 13, 6, 7])
+            # A fresh executor spins up transparently; results are still
+            # bit-identical to the serial loop.
+            assert pool.map(_poison, seeds) == expected
+            assert pool.last_stats.mode == "process"
+
+    def test_serial_mode_propagates_without_pool_state(self):
+        with TrialPool(max_workers=1) as pool:
+            with pytest.raises(RuntimeError):
+                pool.map(_poison, [13])
+            assert pool.map(_poison, [1, 2]) == [_poison(1), _poison(2)]
+
+    def test_close_is_idempotent_after_terminate(self):
+        pool = TrialPool(max_workers=2, chunk_size=1)
+        with pytest.raises(RuntimeError):
+            pool.map(_poison, [13, 1])
+        pool.close()
+        pool.close()
+
+
 def _make_heapfile(values, rng):
     return build_heapfile(values, "random", 25, rng=rng)

@@ -12,18 +12,91 @@ class TestIOStats:
         assert stats.page_reads == 3
         assert stats.pages_touched == 2
 
-    def test_reset(self):
+    def test_touched_is_a_set_of_ints(self):
+        stats = IOStats()
+        stats.record_read(5)
+        stats.record_read(5)
+        assert stats._touched == {5}
+        assert isinstance(stats._touched, set)
+
+    def test_fault_counters(self):
+        stats = IOStats()
+        stats.record_failed_read(2)
+        stats.record_retry(2)
+        stats.record_retry(2)
+        stats.record_skip(2)
+        stats.record_latency(0.25)
+        stats.record_latency(0.5)
+        assert stats.failed_reads == 1
+        assert stats.retries == 2
+        assert stats.pages_skipped == 1
+        assert stats.simulated_latency_s == 0.75
+        # Failed reads never count as successful page reads.
+        assert stats.page_reads == 0
+        assert stats.pages_touched == 0
+
+    def test_reset_clears_everything_including_fault_counters(self):
         stats = IOStats()
         stats.record_read(1)
+        stats.record_failed_read(1)
+        stats.record_retry(1)
+        stats.record_skip(1)
+        stats.record_latency(1.0)
         stats.reset()
         assert stats.page_reads == 0
         assert stats.pages_touched == 0
+        assert stats.failed_reads == 0
+        assert stats.retries == 0
+        assert stats.pages_skipped == 0
+        assert stats.simulated_latency_s == 0.0
+
+    def test_merge_sums_counters_and_unions_touched(self):
+        a = IOStats()
+        a.record_read(0)
+        a.record_read(1)
+        a.record_failed_read(2)
+        a.record_latency(0.1)
+        b = IOStats()
+        b.record_read(1)
+        b.record_read(3)
+        b.record_retry(3)
+        b.record_skip(4)
+        b.record_latency(0.2)
+        merged = a.merge(b)
+        assert merged is a  # in-place, returns self for chaining
+        assert a.page_reads == 4
+        assert a.pages_touched == 3  # {0, 1, 3}
+        assert a.failed_reads == 1
+        assert a.retries == 1
+        assert a.pages_skipped == 1
+        assert a.simulated_latency_s == 0.1 + 0.2
+        # The other side is untouched.
+        assert b.page_reads == 2
+
+    def test_merge_chains_from_fresh_accumulator(self):
+        parts = []
+        for i in range(3):
+            s = IOStats()
+            s.record_read(i)
+            parts.append(s)
+        total = IOStats()
+        for part in parts:
+            total.merge(part)
+        assert total.page_reads == 3
+        assert total.pages_touched == 3
 
     def test_snapshot_is_plain_dict(self):
         stats = IOStats()
         stats.record_read(0)
         snap = stats.snapshot()
-        assert snap == {"page_reads": 1, "pages_touched": 1}
+        assert snap == {
+            "page_reads": 1,
+            "pages_touched": 1,
+            "failed_reads": 0,
+            "retries": 0,
+            "pages_skipped": 0,
+            "simulated_latency_s": 0.0,
+        }
         # Snapshot is a copy: further reads do not mutate it.
         stats.record_read(1)
         assert snap["page_reads"] == 1

@@ -232,3 +232,48 @@ class TestSaveAndEstimate:
     def test_estimate_missing_file(self, capsys):
         assert main(["estimate", "/nonexistent/stats.json"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestChaos:
+    CHAOS_ARGS = [
+        "chaos", "--fault-rate", "0,0.1", "--n", "8000", "--k", "10",
+        "--f", "0.25", "--trials", "2", "--blocking-factor", "25",
+        "--seed", "7",
+    ]
+
+    def test_chaos_runs_and_reports(self, capsys):
+        code = main(self.CHAOS_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "fault_rate" in out
+        assert "2f_bound" in out
+
+    def test_chaos_deterministic_across_workers(self, capsys):
+        assert main(self.CHAOS_ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.CHAOS_ARGS + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_chaos_writes_out_file(self, tmp_path, capsys):
+        out_path = tmp_path / "chaos.txt"
+        code = main(self.CHAOS_ARGS + ["--out", str(out_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert out_path.read_text().strip() in captured.out
+        assert "report written" in captured.err
+
+    def test_chaos_rejects_bad_rate(self, capsys):
+        code = main(["chaos", "--fault-rate", "0,1.5", "--n", "2000"])
+        assert code == 2
+        assert "fault rates must be in [0, 1)" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_workers(self, capsys):
+        code = main(["chaos", "--workers", "0", "--n", "2000"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_chaos_rate_list_parse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--fault-rate", "a,b"])
