@@ -31,9 +31,16 @@ End-to-end (the SQL Server-shaped surface)::
     from repro import Table, StatisticsManager
     stats = StatisticsManager().analyze(table, "price", k=200, f=0.1, rng=0)
     rows = stats.estimate_range(10, 99)
+
+Observability (metrics registry + trace spans, off by default)::
+
+    from repro.obs import metrics
+    with metrics.collecting() as registry:
+        StatisticsManager().analyze(table, "price", rng=0)
+    print(metrics.render_text(registry))
 """
 
-from . import baselines, core, distinct, engine, experiments, sampling, storage, workloads
+from . import baselines, core, distinct, engine, experiments, obs, sampling, storage, workloads
 from ._rng import ensure_rng, spawn_rngs
 from .core import (
     CVBConfig,
@@ -72,6 +79,7 @@ __all__ = [
     "distinct",
     "engine",
     "experiments",
+    "obs",
     "sampling",
     "storage",
     "workloads",

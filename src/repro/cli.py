@@ -30,12 +30,23 @@ Four subcommands expose the library to shell users:
     transient read failures and corrupt pages, and report the achieved
     max-error against the Theorem-7 targets.  Deterministic for a fixed
     ``--seed``, for any ``--workers``.
+
+``metrics``
+    Observability wrapper: run any other subcommand with the
+    :mod:`repro.obs` metrics registry collecting, then dump the registry
+    (``--format text|json``, optionally ``--out FILE``) after the wrapped
+    command finishes.  Example: ``python -m repro metrics demo zipf2``.
+
+``figure`` and ``chaos`` additionally accept ``--trace FILE`` to record a
+structured span trace (JSON lines) of the run; see docs/OBSERVABILITY.md
+for how to read one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -62,6 +73,7 @@ def _rate_list(text: str) -> tuple[float, ...]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -172,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--out", metavar="FILE", help="also write the table to FILE"
     )
+    figure.add_argument(
+        "--trace", metavar="FILE",
+        help="record a span trace of the run to FILE (JSON lines)",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection sweep of the resilient CVB build"
@@ -211,6 +227,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--chunk-size", type=int, default=None)
     chaos.add_argument(
         "--out", metavar="FILE", help="also write the report to FILE"
+    )
+    chaos.add_argument(
+        "--trace", metavar="FILE",
+        help="record a span trace of the run to FILE (JSON lines)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run another subcommand with metrics collection, then dump "
+             "the registry",
+    )
+    metrics.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="exposition format for the dump (default text)",
+    )
+    metrics.add_argument(
+        "--out", metavar="FILE",
+        help="write the dump to FILE instead of stdout",
+    )
+    metrics.add_argument(
+        "wrapped", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the subcommand (and its arguments) to run under collection",
     )
     return parser
 
@@ -340,6 +378,30 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+@contextmanager
+def _maybe_tracing(trace_path: str | None, command: str):
+    """Record a span trace of the wrapped block when *trace_path* is given.
+
+    The root span is ``cli.command`` so every library span recorded during
+    the run hangs off one common ancestor; the trace file is written after
+    the block exits (even on error, so partial traces of failed runs are
+    still inspectable).
+    """
+    if not trace_path:
+        yield
+        return
+    from .obs import trace as obs_trace
+
+    recorder = obs_trace.TraceRecorder()
+    try:
+        with obs_trace.tracing(recorder):
+            with obs_trace.span("cli.command", command=command):
+                yield
+    finally:
+        recorder.write(trace_path)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+
+
 def _figure_scale(args):
     """Resolve the experiment scale, applying any CLI overrides."""
     import dataclasses
@@ -363,9 +425,6 @@ def _figure_scale(args):
 
 
 def _cmd_figure(args) -> int:
-    from .experiments import figures
-    from .experiments.reporting import format_series
-
     if args.workers < 1:
         print(
             f"error: --workers must be >= 1, got {args.workers}",
@@ -378,6 +437,14 @@ def _cmd_figure(args) -> int:
             file=sys.stderr,
         )
         return 2
+
+    with _maybe_tracing(args.trace, "figure"):
+        return _figure_run(args)
+
+
+def _figure_run(args) -> int:
+    from .experiments import figures
+    from .experiments.reporting import format_series
 
     scale = _figure_scale(args)
     kwargs = dict(
@@ -432,8 +499,6 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from .experiments.chaos import chaos_sweep, format_chaos_report
-
     if args.workers < 1:
         print(
             f"error: --workers must be >= 1, got {args.workers}",
@@ -447,6 +512,13 @@ def _cmd_chaos(args) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    with _maybe_tracing(args.trace, "chaos"):
+        return _chaos_run(args)
+
+
+def _chaos_run(args) -> int:
+    from .experiments.chaos import chaos_sweep, format_chaos_report
 
     result = chaos_sweep(
         fault_rates=args.fault_rates,
@@ -471,6 +543,38 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .obs import metrics as obs_metrics
+
+    wrapped = list(args.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        print(
+            "error: metrics needs a subcommand to wrap, e.g. "
+            "`python -m repro metrics demo zipf2`",
+            file=sys.stderr,
+        )
+        return 2
+    if wrapped[0] == "metrics":
+        print("error: metrics cannot wrap itself", file=sys.stderr)
+        return 2
+    with obs_metrics.collecting() as registry:
+        code = main(wrapped)
+    rendered = (
+        obs_metrics.render_json(registry)
+        if args.format == "json"
+        else obs_metrics.render_text(registry)
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"metrics written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -482,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "figure": _cmd_figure,
         "chaos": _cmd_chaos,
+        "metrics": _cmd_metrics,
     }
     try:
         return handlers[args.command](args)

@@ -27,6 +27,8 @@ import numpy as np
 
 from .._rng import RngLike, ensure_rng
 from ..exceptions import BuildAbortedError, ConvergenceError, ParameterError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sampling.block_sampler import BlockSampleStream
 from ..sampling.schedule import DoublingSchedule, StepSchedule
 from ..storage.faults import BudgetTracker, ReadBudget, RetryPolicy
@@ -239,7 +241,20 @@ class CVBSampler:
         n = heapfile.num_records
         if n == 0:
             raise ParameterError("cannot build statistics over an empty file")
+        with _trace.span(
+            "cvb.build",
+            iostats=heapfile.iostats,
+            phase="run",
+            k=cfg.k,
+            f=cfg.f,
+            metric=cfg.metric,
+            validation=cfg.validation,
+        ) as build_span:
+            return self._run(heapfile, generator, build_span)
 
+    def _run(self, heapfile: HeapFile, generator, build_span) -> CVBResult:
+        """Body of :meth:`run`, factored out so the build span wraps it."""
+        cfg = self.config
         stream = BlockSampleStream(
             heapfile,
             rng=generator,
@@ -284,6 +299,7 @@ class CVBSampler:
             page_budget,
             generator,
             prior_pages=None,
+            build_span=build_span,
         )
 
     def refine(
@@ -307,6 +323,26 @@ class CVBSampler:
                 "refined (was it deserialised?)"
             )
         generator = ensure_rng(rng)
+        with _trace.span(
+            "cvb.build",
+            iostats=heapfile.iostats,
+            phase="refine",
+            k=cfg.k,
+            f=cfg.f,
+            metric=cfg.metric,
+            validation=cfg.validation,
+        ) as build_span:
+            return self._refine(heapfile, previous, generator, build_span)
+
+    def _refine(
+        self,
+        heapfile: HeapFile,
+        previous: CVBResult,
+        generator,
+        build_span,
+    ) -> CVBResult:
+        """Body of :meth:`refine`, factored out so the build span wraps it."""
+        cfg = self.config
         stream = BlockSampleStream(
             heapfile,
             rng=generator,
@@ -356,6 +392,7 @@ class CVBSampler:
             page_budget,
             generator,
             prior_pages=np.asarray(previous.sampled_pages),
+            build_span=build_span,
         )
 
     def _increments_for(self, heapfile: HeapFile):
@@ -386,6 +423,7 @@ class CVBSampler:
         page_budget: int,
         generator,
         prior_pages: np.ndarray | None,
+        build_span=None,
     ) -> CVBResult:
         cfg = self.config
         prior_count = 0 if prior_pages is None else len(prior_pages)
@@ -405,27 +443,50 @@ class CVBSampler:
             if want <= 0:
                 break
 
-            if cfg.validation == "one_per_block":
-                increment, validation_values = stream.take_one_tuple_per_block(
-                    want, rng=generator
+            with _trace.span(
+                "cvb.iteration",
+                iostats=heapfile.iostats,
+                index=len(iterations),
+                requested_blocks=int(want),
+            ) as iteration_span:
+                if cfg.validation == "one_per_block":
+                    increment, validation_values = (
+                        stream.take_one_tuple_per_block(want, rng=generator)
+                    )
+                else:
+                    increment = stream.take(want)
+                    validation_values = increment
+                if increment.size == 0:
+                    iteration_span.set(empty_increment=True)
+                    break
+
+                observed, threshold = self._validate(
+                    histogram, sample, validation_values
                 )
-            else:
-                increment = stream.take(want)
-                validation_values = increment
-            if increment.size == 0:
-                break
+                trusted = validation_values.size >= cfg.min_validation_tuples
+                passed = trusted and observed < threshold
 
-            observed, threshold = self._validate(
-                histogram, sample, validation_values
-            )
-            trusted = validation_values.size >= cfg.min_validation_tuples
-            passed = trusted and observed < threshold
+                # Step 4(c): merge and rebuild H_i whether or not the test
+                # passed (the algorithm box outputs the *rebuilt* histogram
+                # on exit).
+                sample = _merge_sorted(sample, np.sort(increment))
+                histogram = EquiHeightHistogram.from_sorted_values(
+                    sample, cfg.k
+                )
+                converged = passed
 
-            # Step 4(c): merge and rebuild H_i whether or not the test passed
-            # (the algorithm box outputs the *rebuilt* histogram on exit).
-            sample = _merge_sorted(sample, np.sort(increment))
-            histogram = EquiHeightHistogram.from_sorted_values(sample, cfg.k)
-            converged = passed
+                _metrics.inc("repro_cvb_iterations_total")
+                if threshold > 0:
+                    _metrics.observe(
+                        "repro_cvb_deviation_ratio",
+                        float(observed) / float(threshold),
+                    )
+                iteration_span.set(
+                    increment_tuples=int(increment.size),
+                    observed_error=float(observed),
+                    threshold=float(threshold),
+                    passed=passed,
+                )
 
             iterations.append(
                 CVBIteration(
@@ -447,6 +508,19 @@ class CVBSampler:
             sampled_pages = stream.taken_ids
         else:
             sampled_pages = np.concatenate([prior_pages, stream.taken_ids])
+
+        outcome = "converged" if converged else "budget_stopped"
+        _metrics.inc("repro_cvb_builds_total", outcome=outcome)
+        _metrics.observe("repro_cvb_pages_sampled", int(sampled_pages.size))
+        _metrics.observe("repro_cvb_tuples_sampled", int(sample.size))
+        if build_span is not None:
+            build_span.set(
+                outcome=outcome,
+                iterations=len(iterations),
+                pages_sampled=int(sampled_pages.size),
+                tuples_sampled=int(sample.size),
+                pages_skipped=stream.pages_skipped,
+            )
 
         return CVBResult(
             histogram=histogram,

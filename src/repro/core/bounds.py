@@ -283,6 +283,7 @@ class GMPBound:
 
     @property
     def feasible(self) -> bool:
+        """True when the bound is satisfiable for this table size."""
         return self.n >= self.n_min and self.gamma < 1.0
 
 

@@ -53,18 +53,22 @@ class EquiWidthHistogram:
 
     @property
     def k(self) -> int:
+        """Number of buckets."""
         return int(self._counts.size)
 
     @property
     def edges(self) -> np.ndarray:
+        """Bucket edges, ``k + 1`` ascending values."""
         return self._edges
 
     @property
     def counts(self) -> np.ndarray:
+        """Per-bucket value counts."""
         return self._counts
 
     @property
     def total(self) -> int:
+        """Total number of values across all buckets."""
         return int(self._counts.sum())
 
     def estimate_leq(self, value: float) -> float:

@@ -68,6 +68,7 @@ class Bucket:
 
     @property
     def width(self) -> float:
+        """Bucket width ``hi - lo``."""
         return self.hi - self.lo
 
 
@@ -256,10 +257,12 @@ class EquiHeightHistogram:
 
     @property
     def min_value(self) -> float:
+        """Smallest value the histogram covers."""
         return self._min
 
     @property
     def max_value(self) -> float:
+        """Largest value the histogram covers."""
         return self._max
 
     @property

@@ -40,6 +40,7 @@ class MaxDiffBucket:
 
     @property
     def width(self) -> float:
+        """Bucket width ``hi - lo``."""
         return self.hi - self.lo
 
 
@@ -115,21 +116,26 @@ class MaxDiffHistogram:
 
     @property
     def k(self) -> int:
+        """Number of buckets."""
         return len(self._buckets)
 
     @property
     def total(self) -> int:
+        """Total number of values across all buckets."""
         return sum(b.count for b in self._buckets)
 
     def buckets(self) -> list[MaxDiffBucket]:
+        """The buckets, in value order."""
         return list(self._buckets)
 
     @property
     def min_value(self) -> float:
+        """Smallest value the histogram covers."""
         return self._buckets[0].lo
 
     @property
     def max_value(self) -> float:
+        """Largest value the histogram covers."""
         return self._buckets[-1].hi
 
     # ------------------------------------------------------------------

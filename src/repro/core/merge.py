@@ -22,6 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .histogram import EquiHeightHistogram
 
 __all__ = ["merge_equi_height"]
@@ -46,6 +48,19 @@ def merge_equi_height(
         k = max(left.k, right.k)
     if k <= 0:
         raise ParameterError(f"k must be positive, got {k}")
+    with _trace.span(
+        "core.merge_equi_height", k=k, total=left.total + right.total
+    ):
+        _metrics.inc("repro_histogram_merges_total")
+        return _merge_equi_height(left, right, k)
+
+
+def _merge_equi_height(
+    left: EquiHeightHistogram,
+    right: EquiHeightHistogram,
+    k: int,
+) -> EquiHeightHistogram:
+    """Instrumentation-free body of :func:`merge_equi_height`."""
 
     lo = min(left.min_value, right.min_value)
     hi = max(left.max_value, right.max_value)

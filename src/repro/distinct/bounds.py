@@ -64,18 +64,22 @@ class AdversarialPair:
 
     @property
     def n(self) -> int:
+        """Total rows in either relation of the pair."""
         return int(self.high_values.size)
 
     @property
     def high_distinct(self) -> int:
+        """Distinct count of the high-cardinality relation."""
         return int(np.unique(self.high_values).size)
 
     @property
     def low_distinct(self) -> int:
+        """Distinct count of the low-cardinality relation."""
         return int(np.unique(self.low_values).size)
 
     @property
     def guaranteed_ratio(self) -> float:
+        """The ratio error any estimator must concede on this pair."""
         return math.sqrt(self.high_distinct / self.low_distinct)
 
 

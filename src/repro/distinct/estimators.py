@@ -73,6 +73,7 @@ class DistinctValueEstimator:
     name: str = "base"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Estimate the distinct count from *profile* over *n* rows."""
         raise NotImplementedError
 
     def estimate_from_sample(self, sample: np.ndarray, n: int) -> float:
@@ -87,6 +88,7 @@ class NaiveEstimator(DistinctValueEstimator):
     name = "naive"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Distinct values in the sample, unscaled (a lower bound)."""
         _check_inputs(profile, n)
         return float(profile.distinct_in_sample)
 
@@ -98,6 +100,7 @@ class ScaleUpEstimator(DistinctValueEstimator):
     name = "scale_up"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Sample distinct count scaled by ``n / r``."""
         _check_inputs(profile, n)
         r = profile.sample_size
         return _clamp(profile.distinct_in_sample * n / r, profile, n)
@@ -115,6 +118,7 @@ class GEEEstimator(DistinctValueEstimator):
     name = "gee"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """The paper's Guaranteed-Error Estimator (Section 6.3)."""
         _check_inputs(profile, n)
         r = profile.sample_size
         f1_plus = max(profile.singletons, 1)
@@ -129,6 +133,7 @@ class JackknifeEstimator(DistinctValueEstimator):
     name = "jackknife1"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """First-order jackknife estimate."""
         _check_inputs(profile, n)
         r = profile.sample_size
         if r <= 1:
@@ -145,6 +150,7 @@ class SecondOrderJackknifeEstimator(DistinctValueEstimator):
     name = "jackknife2"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Second-order jackknife estimate."""
         _check_inputs(profile, n)
         r = profile.sample_size
         if r <= 2:
@@ -168,6 +174,7 @@ class ChaoEstimator(DistinctValueEstimator):
     name = "chao"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Chao's f1^2/(2 f2) coverage estimate."""
         _check_inputs(profile, n)
         f1, f2 = profile.singletons, profile.f(2)
         if f2 > 0:
@@ -188,6 +195,7 @@ class ChaoLeeEstimator(DistinctValueEstimator):
     name = "chao_lee"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Chao-Lee coverage estimate with a skew correction."""
         _check_inputs(profile, n)
         r = profile.sample_size
         d = profile.distinct_in_sample
@@ -219,6 +227,7 @@ class ShlosserEstimator(DistinctValueEstimator):
     name = "shlosser"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Shlosser's estimate for Bernoulli samples."""
         _check_inputs(profile, n)
         r = profile.sample_size
         q = r / n
@@ -253,6 +262,7 @@ class GoodmanEstimator(DistinctValueEstimator):
     name = "goodman"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Goodman's unbiased (but unstable) estimate."""
         _check_inputs(profile, n)
         r = profile.sample_size
         if r >= n:
@@ -294,6 +304,7 @@ class FiniteJackknifeEstimator(DistinctValueEstimator):
     name = "jackknife_fp"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Finite-population jackknife estimate."""
         _check_inputs(profile, n)
         r = profile.sample_size
         q = r / n
@@ -317,6 +328,7 @@ class BootstrapEstimator(DistinctValueEstimator):
     name = "bootstrap"
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Bootstrap resampling estimate."""
         _check_inputs(profile, n)
         r = profile.sample_size
         j = profile.occurrence_counts.astype(np.float64)
@@ -364,6 +376,7 @@ class HybridEstimator(DistinctValueEstimator):
         return p_value >= self.significance
 
     def estimate(self, profile: FrequencyProfile, n: int) -> float:
+        """Skew-routed hybrid: picks a base estimator per profile."""
         _check_inputs(profile, n)
         if self.looks_uniform(profile):
             return self._shlosser.estimate(profile, n)

@@ -31,6 +31,7 @@ class Catalog:
         return self._versions[key]
 
     def get(self, table_name: str, column_name: str) -> "ColumnStatistics":
+        """Fetch statistics for ``table.column`` (raises when missing)."""
         key = (table_name, column_name)
         if key not in self._entries:
             raise StatisticsNotFoundError(

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 from .._rng import RngLike
 from ..exceptions import ParameterError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .resilience import build_or_fallback
 from .statistics import ColumnStatistics, StatisticsManager
 from .table import Table
@@ -39,9 +41,11 @@ class ModificationCounter:
         self._counts[key] = self._counts.get(key, 0) + rows
 
     def since_refresh(self, table_name: str, column_name: str) -> int:
+        """Modifications recorded since the last ``reset``."""
         return self._counts.get((table_name, column_name), 0)
 
     def reset(self, table_name: str, column_name: str) -> None:
+        """Zero the counter after a successful refresh."""
         self._counts.pop((table_name, column_name), None)
 
 
@@ -73,6 +77,7 @@ class RefreshPolicy:
         return max(self.floor_rows, int(self.fraction * n))
 
     def is_stale(self, statistics: ColumnStatistics, modified: int) -> bool:
+        """True when *modified* crosses the threshold for *statistics*."""
         return modified >= self.threshold(statistics.n)
 
 
@@ -111,6 +116,7 @@ class AutoStatistics:
         self.modifications.record(table_name, column_name, rows)
 
     def is_stale(self, table_name: str, column_name: str) -> bool:
+        """True when the column's statistics have crossed the staleness threshold."""
         stats = self.manager.statistics(table_name, column_name)
         modified = self.modifications.since_refresh(table_name, column_name)
         return self.policy.is_stale(stats, modified)
@@ -130,23 +136,34 @@ class AutoStatistics:
         next read attempts the refresh again — a later successful rebuild
         replaces the degraded bundle with a fresh, undegraded one.
         """
-        stats = self.manager.statistics(table.name, column_name)
-        if not self.is_stale(table.name, column_name):
-            return stats
-        params = dict(stats.build_params)
-        params.setdefault("k", stats.histogram.k)
-        refreshed, ok = build_or_fallback(
-            self.manager,
-            table,
-            column_name,
-            fallback=stats,
-            rng=rng,
-            method=stats.method,
-            **params,
-        )
-        if not ok:
-            self.degraded_count += 1
+        with _trace.span(
+            "autostats.ensure_fresh", table=table.name, column=column_name
+        ) as span:
+            stats = self.manager.statistics(table.name, column_name)
+            if not self.is_stale(table.name, column_name):
+                _metrics.inc("repro_autostats_requests_total", result="fresh")
+                span.set(result="fresh")
+                return stats
+            params = dict(stats.build_params)
+            params.setdefault("k", stats.histogram.k)
+            refreshed, ok = build_or_fallback(
+                self.manager,
+                table,
+                column_name,
+                fallback=stats,
+                rng=rng,
+                method=stats.method,
+                **params,
+            )
+            if not ok:
+                self.degraded_count += 1
+                _metrics.inc(
+                    "repro_autostats_requests_total", result="degraded"
+                )
+                span.set(result="degraded")
+                return refreshed
+            self.modifications.reset(table.name, column_name)
+            self.refresh_count += 1
+            _metrics.inc("repro_autostats_requests_total", result="refreshed")
+            span.set(result="refreshed")
             return refreshed
-        self.modifications.reset(table.name, column_name)
-        self.refresh_count += 1
-        return refreshed

@@ -37,6 +37,7 @@ class RangeEstimate:
 
     @property
     def absolute_error(self) -> float:
+        """``|estimated - actual|`` in rows."""
         return abs(self.estimate - self.truth)
 
     def relative_error(self, floor: float = 1.0) -> float:
@@ -87,6 +88,7 @@ class WorkloadAccuracy:
     max_relative_error: float
 
     def summary(self) -> str:
+        """One-line accuracy summary across the workload."""
         return (
             f"{self.count} queries: abs err mean={self.mean_absolute_error:.1f} "
             f"max={self.max_absolute_error:.1f}; rel err "

@@ -98,10 +98,12 @@ def statistics_from_dict(payload: dict) -> ColumnStatistics:
 
 
 def statistics_to_json(statistics: ColumnStatistics) -> str:
+    """Serialise a statistics bundle to a JSON string."""
     return json.dumps(statistics_to_dict(statistics))
 
 
 def statistics_from_json(text: str) -> ColumnStatistics:
+    """Reconstruct a statistics bundle from :func:`statistics_to_json` output."""
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:

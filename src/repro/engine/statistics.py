@@ -28,6 +28,8 @@ from ..core.histogram import EquiHeightHistogram
 from ..exceptions import ParameterError
 from ..distinct.estimators import DistinctValueEstimator, GEEEstimator
 from ..distinct.frequency import FrequencyProfile
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sampling.record_sampler import sample_records_from_file
 from ..sampling.schedule import StepSchedule
 from ..storage.faults import (
@@ -121,6 +123,7 @@ class ColumnStatistics:
         )
 
     def summary(self) -> str:
+        """One-line human-readable summary of the bundle."""
         return (
             f"{self.table_name}.{self.column_name}: n={self.n:,} "
             f"k={self.histogram.k} method={self.method} "
@@ -195,57 +198,76 @@ class StatisticsManager:
         n = heapfile.num_records
         io_baseline = heapfile.iostats.snapshot()
 
-        cvb_result: CVBResult | None = None
-        if method == "cvb":
-            config = CVBConfig(k=k, f=f, gamma=gamma, **cvb_kwargs)
-            cvb_result = CVBSampler(
-                config, schedule=schedule, retry=retry, budget=read_budget
-            ).run(heapfile, rng=generator)
-            histogram = cvb_result.histogram
-            sample = cvb_result.sample
-            pages_read = cvb_result.pages_sampled
-            converged = cvb_result.converged
-        elif method == "record":
-            if record_sample_size is None:
-                record_sample_size = min(
-                    n, bounds.corollary1_sample_size(n, k, f, gamma)
-                )
-            tracker = (
-                read_budget.tracker(heapfile.num_pages) if read_budget else None
-            )
-            sample = np.sort(
-                sample_records_from_file(
-                    heapfile,
-                    record_sample_size,
-                    generator,
-                    retry=retry,
-                    budget=tracker,
-                )
-            )
-            if sample.size == 0:
-                raise BuildAbortedError(
-                    "record sample is empty: no readable records"
-                )
-            histogram = EquiHeightHistogram.from_sorted_values(sample, k)
-            pages_read = heapfile.iostats.page_reads
-            converged = True
-        else:  # fullscan
-            if retry is not None or read_budget is not None:
+        with _trace.span(
+            "engine.analyze",
+            iostats=heapfile.iostats,
+            table=table.name,
+            column=column_name,
+            method=method,
+            k=k,
+            f=f,
+        ) as analyze_span:
+            cvb_result: CVBResult | None = None
+            if method == "cvb":
+                config = CVBConfig(k=k, f=f, gamma=gamma, **cvb_kwargs)
+                cvb_result = CVBSampler(
+                    config, schedule=schedule, retry=retry, budget=read_budget
+                ).run(heapfile, rng=generator)
+                histogram = cvb_result.histogram
+                sample = cvb_result.sample
+                pages_read = cvb_result.pages_sampled
+                converged = cvb_result.converged
+            elif method == "record":
+                if record_sample_size is None:
+                    record_sample_size = min(
+                        n, bounds.corollary1_sample_size(n, k, f, gamma)
+                    )
                 tracker = (
                     read_budget.tracker(heapfile.num_pages)
                     if read_budget
                     else None
                 )
                 sample = np.sort(
-                    resilient_scan(heapfile, retry=retry, budget=tracker)
+                    sample_records_from_file(
+                        heapfile,
+                        record_sample_size,
+                        generator,
+                        retry=retry,
+                        budget=tracker,
+                    )
                 )
                 if sample.size == 0:
-                    raise BuildAbortedError("full scan found no readable pages")
-            else:
-                sample = np.sort(heapfile.scan())
-            histogram = EquiHeightHistogram.from_sorted_values(sample, k)
-            pages_read = heapfile.iostats.page_reads
-            converged = True
+                    raise BuildAbortedError(
+                        "record sample is empty: no readable records"
+                    )
+                histogram = EquiHeightHistogram.from_sorted_values(sample, k)
+                pages_read = heapfile.iostats.page_reads
+                converged = True
+            else:  # fullscan
+                if retry is not None or read_budget is not None:
+                    tracker = (
+                        read_budget.tracker(heapfile.num_pages)
+                        if read_budget
+                        else None
+                    )
+                    sample = np.sort(
+                        resilient_scan(heapfile, retry=retry, budget=tracker)
+                    )
+                    if sample.size == 0:
+                        raise BuildAbortedError(
+                            "full scan found no readable pages"
+                        )
+                else:
+                    sample = np.sort(heapfile.scan())
+                histogram = EquiHeightHistogram.from_sorted_values(sample, k)
+                pages_read = heapfile.iostats.page_reads
+                converged = True
+            _metrics.inc("repro_analyze_builds_total", method=method)
+            analyze_span.set(
+                pages_read=pages_read,
+                sample_size=int(sample.size),
+                converged=converged,
+            )
 
         profile = FrequencyProfile.from_sample(sample)
         distinct_estimate = self._distinct_estimator.estimate(profile, n)

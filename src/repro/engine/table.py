@@ -34,10 +34,12 @@ class Column:
 
     @property
     def values(self) -> np.ndarray:
+        """The column's values as a numpy array."""
         return self._values
 
     @property
     def num_rows(self) -> int:
+        """Number of rows in the column."""
         return int(self._values.size)
 
     def sorted_values(self) -> np.ndarray:
@@ -78,6 +80,7 @@ class Table:
         return column
 
     def column(self, name: str) -> Column:
+        """Fetch a column by name (raises when missing)."""
         if name not in self._columns:
             raise CatalogError(
                 f"table {self.name!r} has no column {name!r}"
@@ -86,10 +89,12 @@ class Table:
 
     @property
     def column_names(self) -> list[str]:
+        """Column names, in declaration order."""
         return list(self._columns)
 
     @property
     def num_rows(self) -> int:
+        """Number of rows in the table."""
         if not self._columns:
             return 0
         return next(iter(self._columns.values())).num_rows

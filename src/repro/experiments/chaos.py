@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._rng import RngLike, spawn_seeds
+from ..obs import trace as _trace
 from ..core.adaptive import cvb_build
 from ..core.error_metrics import fractional_max_error
 from ..exceptions import BuildAbortedError
@@ -168,9 +169,12 @@ def chaos_sweep(
                     max_skipped_fraction,
                 )
             )
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
-        results = pool.map(_chaos_trial, tasks)
-        pool_stats = pool.last_stats
+    with _trace.span(
+        "chaos.sweep", rates=len(fault_rates), trials=trials, n=n, k=k, f=f
+    ):
+        with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+            results = pool.map(_chaos_trial, tasks)
+            pool_stats = pool.last_stats
 
     points = []
     error_series = Series("CVB under faults", "fault_rate", "max_error_fraction")

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..exceptions import ParameterError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = [
     "TrialRecord",
@@ -108,6 +110,7 @@ class TrialStats:
 
     @property
     def trial_time_mean_s(self) -> float:
+        """Mean in-trial compute time."""
         return self.trial_time_total_s / self.trials if self.trials else 0.0
 
     @property
@@ -116,6 +119,7 @@ class TrialStats:
         return self.trial_time_total_s / self.elapsed_s if self.elapsed_s else 1.0
 
     def summary(self) -> str:
+        """One-line human-readable summary of the map's cost."""
         return (
             f"{self.trials} trials, {self.workers} worker(s) [{self.mode}], "
             f"chunk={self.chunk_size}: wall {self.elapsed_s:.3f}s, "
@@ -124,14 +128,33 @@ class TrialStats:
         )
 
 
-def _run_chunk(fn: Callable[[Any], Any], seeds: Sequence[Any]) -> list[tuple]:
-    """Worker-side kernel: run *fn* over a chunk of seeds, timing each."""
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    seeds: Sequence[Any],
+    collect_metrics: bool = False,
+) -> tuple[list[tuple], dict | None]:
+    """Worker-side kernel: run *fn* over a chunk of seeds, timing each.
+
+    With *collect_metrics*, the chunk runs under a fresh worker-local
+    metrics registry whose snapshot is returned alongside the results, so
+    the parent can merge worker-side emissions (page reads, CVB rounds,
+    fault events) into its own registry — giving identical aggregate
+    metrics for any worker count.
+    """
     out = []
-    for seed in seeds:
-        start = time.perf_counter()
-        value = fn(seed)
-        out.append((value, time.perf_counter() - start))
-    return out
+
+    def _loop() -> None:
+        for seed in seeds:
+            start = time.perf_counter()
+            value = fn(seed)
+            out.append((value, time.perf_counter() - start))
+
+    if collect_metrics:
+        with _metrics.collecting() as registry:
+            _loop()
+        return out, registry.snapshot()
+    _loop()
+    return out, None
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -179,6 +202,9 @@ class TrialPool:
             self._executor.shutdown(wait=True)
             self._executor = None
             self._executor_workers = None
+            _metrics.inc(
+                "repro_pool_executor_events_total", event="stopped"
+            )
 
     def _terminate(self) -> None:
         """Tear the pool down hard: kill workers, drop the executor.
@@ -194,6 +220,7 @@ class TrialPool:
             return
         executor, self._executor = self._executor, None
         self._executor_workers = None
+        _metrics.inc("repro_pool_executor_events_total", event="terminated")
         processes = list(getattr(executor, "_processes", {}).values())
         executor.shutdown(wait=False, cancel_futures=True)
         for process in processes:
@@ -213,6 +240,9 @@ class TrialPool:
             self.close()
             self._executor = ProcessPoolExecutor(max_workers=workers)
             self._executor_workers = workers
+            _metrics.inc(
+                "repro_pool_executor_events_total", event="started"
+            )
         return self._executor
 
     # ------------------------------------------------------------------
@@ -252,32 +282,46 @@ class TrialPool:
             and len(seeds) > 1
             and _is_picklable((fn, seeds))
         )
-        if use_processes:
-            if chunk is None:
-                chunk = max(1, math.ceil(len(seeds) / (4 * workers)))
-            chunks = [
-                seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
-            ]
-            executor = self._get_executor(workers)
-            futures = [executor.submit(_run_chunk, fn, c) for c in chunks]
-            try:
-                timed = [pair for future in futures for pair in future.result()]
-            except BaseException:
-                # A trial raised (the worker re-raises it here), a worker
-                # process died, or the user hit Ctrl-C.  Cancel what hasn't
-                # started, kill the workers, and surface the original
-                # exception instead of hanging on stragglers.
-                for future in futures:
-                    future.cancel()
-                self._terminate()
-                raise
-            mode = "process"
-            num_chunks = len(chunks)
-        else:
-            timed = _run_chunk(fn, seeds)
-            mode = "serial"
-            chunk = chunk or len(seeds) or 1
-            num_chunks = 1
+        map_span = _trace.span("pool.map", trials=len(seeds))
+        with map_span:
+            if use_processes:
+                if chunk is None:
+                    chunk = max(1, math.ceil(len(seeds) / (4 * workers)))
+                chunks = [
+                    seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
+                ]
+                collect = _metrics.enabled()
+                executor = self._get_executor(workers)
+                futures = [
+                    executor.submit(_run_chunk, fn, c, collect)
+                    for c in chunks
+                ]
+                try:
+                    timed = []
+                    for future in futures:
+                        chunk_timed, chunk_metrics = future.result()
+                        timed.extend(chunk_timed)
+                        if chunk_metrics is not None and _metrics.enabled():
+                            _metrics.active_registry().merge_snapshot(
+                                chunk_metrics
+                            )
+                except BaseException:
+                    # A trial raised (the worker re-raises it here), a worker
+                    # process died, or the user hit Ctrl-C.  Cancel what
+                    # hasn't started, kill the workers, and surface the
+                    # original exception instead of hanging on stragglers.
+                    for future in futures:
+                        future.cancel()
+                    self._terminate()
+                    raise
+                mode = "process"
+                num_chunks = len(chunks)
+            else:
+                timed, _ = _run_chunk(fn, seeds)
+                mode = "serial"
+                chunk = chunk or len(seeds) or 1
+                num_chunks = 1
+            map_span.set(mode=mode, chunks=num_chunks)
 
         elapsed = time.perf_counter() - start
         durations = [d for _, d in timed]
@@ -299,6 +343,12 @@ class TrialPool:
             trial_time_max_s=float(max(durations, default=0.0)),
             page_reads=page_reads,
         )
+        _metrics.inc("repro_pool_maps_total", mode=mode)
+        _metrics.inc("repro_pool_trials_total", len(seeds))
+        _metrics.set_gauge("repro_pool_workers", self.last_stats.workers)
+        if _metrics.enabled():
+            for duration in durations:
+                _metrics.observe("repro_pool_trial_seconds", duration)
         return results
 
 

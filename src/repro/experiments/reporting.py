@@ -54,6 +54,7 @@ class Series:
         self.y.append(y)
 
     def rows(self) -> list[tuple]:
+        """The series as (x, y) rows."""
         return list(zip(self.x, self.y))
 
 

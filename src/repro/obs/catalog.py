@@ -1,0 +1,172 @@
+"""The declared observability surface: every metric and span the library emits.
+
+The registry (:mod:`repro.obs.metrics`) and the trace recorder
+(:mod:`repro.obs.trace`) validate emissions against this catalog by default,
+so an instrumentation site cannot invent a name that the documentation does
+not know about — ``docs/OBSERVABILITY.md`` is kept in lockstep by a test
+that diffs the catalog against the doc (``tests/obs/test_docs.py``).
+
+Naming follows the Prometheus conventions: ``repro_`` prefix, ``_total``
+suffix for counters, ``_seconds`` for time units.  Label sets are closed:
+an emission must supply exactly the labels declared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MetricSpec", "METRICS", "SPANS", "COUNTER", "GAUGE", "HISTOGRAM"]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: its name, type, label set, and meaning."""
+
+    name: str
+    type: str
+    labels: tuple[str, ...]
+    help: str
+
+
+_SPECS = [
+    # ------------------------------------------------------------------
+    # storage — forwarded 1:1 from IOStats, so exported totals always
+    # reconcile exactly with per-file accounting
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_read_attempts_total", COUNTER, (),
+        "Physical page-read attempts (successful + failed).",
+    ),
+    MetricSpec(
+        "repro_page_reads_total", COUNTER, (),
+        "Successfully delivered page reads (IOStats.page_reads).",
+    ),
+    MetricSpec(
+        "repro_failed_reads_total", COUNTER, (),
+        "Read attempts that raised (transient fault or checksum mismatch).",
+    ),
+    MetricSpec(
+        "repro_retries_total", COUNTER, (),
+        "Re-attempts issued by a retry policy after a transient fault.",
+    ),
+    MetricSpec(
+        "repro_pages_skipped_total", COUNTER, (),
+        "Pages permanently given up on and replaced by fresh draws.",
+    ),
+    MetricSpec(
+        "repro_simulated_latency_seconds_total", COUNTER, (),
+        "Simulated seconds spent on read latency and retry backoff.",
+    ),
+    MetricSpec(
+        "repro_fault_events_total", COUNTER, ("kind",),
+        "Faults injected by FaultyHeapFile, by kind "
+        "(kind=transient|corrupt).",
+    ),
+    MetricSpec(
+        "repro_resilient_reads_total", COUNTER, ("outcome",),
+        "read_page_resilient outcomes (outcome=delivered|skipped).",
+    ),
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_block_batches_total", COUNTER, ("mode",),
+        "Batches handed out by BlockSampleStream "
+        "(mode=take|one_per_block).",
+    ),
+    MetricSpec(
+        "repro_block_pages_delivered_total", COUNTER, (),
+        "Readable pages delivered by BlockSampleStream batches.",
+    ),
+    MetricSpec(
+        "repro_record_samples_total", COUNTER, ("mode",),
+        "Records delivered by sample_records_from_file "
+        "(mode=with_replacement|without_replacement).",
+    ),
+    # ------------------------------------------------------------------
+    # core — the CVB build and histogram merging
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_cvb_builds_total", COUNTER, ("outcome",),
+        "Completed CVB runs (outcome=converged|budget_stopped).",
+    ),
+    MetricSpec(
+        "repro_cvb_iterations_total", COUNTER, (),
+        "Cross-validation rounds executed (excludes round 0).",
+    ),
+    MetricSpec(
+        "repro_cvb_deviation_ratio", HISTOGRAM, (),
+        "Per-round observed error over its stopping threshold "
+        "(the f*s/k target of Theorem 7); < 1 means the round passed.",
+    ),
+    MetricSpec(
+        "repro_cvb_pages_sampled", HISTOGRAM, (),
+        "Pages consumed per completed CVB build.",
+    ),
+    MetricSpec(
+        "repro_cvb_tuples_sampled", HISTOGRAM, (),
+        "Tuples accumulated per completed CVB build.",
+    ),
+    MetricSpec(
+        "repro_histogram_merges_total", COUNTER, (),
+        "merge_equi_height invocations (partition-histogram merging).",
+    ),
+    # ------------------------------------------------------------------
+    # engine — ANALYZE and auto-refresh
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_analyze_builds_total", COUNTER, ("method",),
+        "StatisticsManager.analyze builds (method=cvb|record|fullscan).",
+    ),
+    MetricSpec(
+        "repro_autostats_requests_total", COUNTER, ("result",),
+        "AutoStatistics.ensure_fresh outcomes "
+        "(result=fresh|refreshed|degraded).",
+    ),
+    # ------------------------------------------------------------------
+    # experiments — the parallel trial engine
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_pool_maps_total", COUNTER, ("mode",),
+        "TrialPool.map calls by execution mode (mode=serial|process).",
+    ),
+    MetricSpec(
+        "repro_pool_trials_total", COUNTER, (),
+        "Trials executed across all TrialPool.map calls.",
+    ),
+    MetricSpec(
+        "repro_pool_trial_seconds", HISTOGRAM, (),
+        "Per-trial compute time measured inside the workers.",
+    ),
+    MetricSpec(
+        "repro_pool_workers", GAUGE, (),
+        "Worker count of the most recent TrialPool.map call.",
+    ),
+    MetricSpec(
+        "repro_pool_executor_events_total", COUNTER, ("event",),
+        "Process-pool lifecycle events "
+        "(event=started|stopped|terminated).",
+    ),
+]
+
+#: Every metric the library may emit, keyed by name.
+METRICS: dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Every trace span the library may open, with its meaning.  Attribute sets
+#: are documented in docs/OBSERVABILITY.md.
+SPANS: dict[str, str] = {
+    "cli.command": "One CLI subcommand invocation (the trace root).",
+    "engine.analyze": "One StatisticsManager.analyze build.",
+    "autostats.ensure_fresh": "One AutoStatistics read (freshness check "
+                              "plus any rebuild).",
+    "cvb.build": "One full CVB adaptive-sampling run.",
+    "cvb.iteration": "One CVB cross-validation round (sample, validate, "
+                     "merge).",
+    "core.merge_equi_height": "One partition-histogram merge.",
+    "pool.map": "One TrialPool.map fan-out (serial or process).",
+    "chaos.sweep": "One chaos_sweep fault-rate sweep.",
+}

@@ -23,6 +23,7 @@ import numpy as np
 
 from .._rng import RngLike, ensure_rng
 from ..exceptions import ParameterError
+from ..obs import metrics as _metrics
 from ..storage.faults import BudgetTracker, RetryPolicy, read_page_resilient
 from ..storage.heapfile import HeapFile
 
@@ -192,6 +193,8 @@ class BlockSampleStream:
                 f"num_blocks must be non-negative, got {num_blocks}"
             )
         chunks = self._next_readable(num_blocks)
+        _metrics.inc("repro_block_batches_total", mode="take")
+        _metrics.inc("repro_block_pages_delivered_total", len(chunks))
         if not chunks:
             return self._file.values_unaccounted()[:0]
         return np.concatenate(chunks)
@@ -210,6 +213,8 @@ class BlockSampleStream:
         """
         generator = ensure_rng(rng)
         full_chunks = self._next_readable(num_blocks)
+        _metrics.inc("repro_block_batches_total", mode="one_per_block")
+        _metrics.inc("repro_block_pages_delivered_total", len(full_chunks))
         representatives = []
         for payload in full_chunks:
             if payload.size:

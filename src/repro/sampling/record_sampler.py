@@ -16,6 +16,7 @@ import numpy as np
 
 from .._rng import RngLike, ensure_rng
 from ..exceptions import BuildAbortedError, ParameterError
+from ..obs import metrics as _metrics
 from ..storage.faults import BudgetTracker, RetryPolicy, read_record_resilient
 from ..storage.heapfile import HeapFile
 
@@ -129,6 +130,7 @@ def sample_records_from_file(
     if r > 0 and n == 0:
         raise ParameterError("cannot sample from an empty heap file")
     generator = ensure_rng(rng)
+    mode = "with_replacement" if with_replacement else "without_replacement"
     if retry is None and budget is None:
         if with_replacement:
             indices = generator.integers(0, n, size=r)
@@ -138,14 +140,18 @@ def sample_records_from_file(
                     f"cannot draw {r} records without replacement from {n}"
                 )
             indices = generator.choice(n, size=r, replace=False)
-        return np.asarray([heapfile.read_record(int(i)) for i in indices])
+        sample = np.asarray([heapfile.read_record(int(i)) for i in indices])
+        _metrics.inc("repro_record_samples_total", sample.size, mode=mode)
+        return sample
     if not with_replacement and r > n:
         raise ParameterError(
             f"cannot draw {r} records without replacement from {n}"
         )
-    return _sample_records_resilient(
+    sample = _sample_records_resilient(
         heapfile, r, generator, with_replacement, retry, budget
     )
+    _metrics.inc("repro_record_samples_total", sample.size, mode=mode)
+    return sample
 
 
 def _sample_records_resilient(

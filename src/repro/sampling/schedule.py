@@ -55,6 +55,7 @@ class DoublingSchedule(StepSchedule):
         self.initial_blocks = int(initial_blocks)
 
     def increments(self) -> Iterator[int]:
+        """Yield the doubling increment sizes."""
         yield self.initial_blocks
         total = self.initial_blocks
         while True:
@@ -62,6 +63,7 @@ class DoublingSchedule(StepSchedule):
             total *= 2
 
     def describe(self) -> str:
+        """Human-readable description of the schedule."""
         return f"doubling(g0={self.initial_blocks})"
 
 
@@ -80,10 +82,12 @@ class LinearSchedule(StepSchedule):
         self.step_blocks = int(step_blocks)
 
     def increments(self) -> Iterator[int]:
+        """Yield the constant increment sizes."""
         while True:
             yield self.step_blocks
 
     def describe(self) -> str:
+        """Human-readable description of the schedule."""
         return f"linear(step={self.step_blocks})"
 
 
@@ -109,12 +113,14 @@ class SqrtSchedule(StepSchedule):
         self.multiplier = float(multiplier)
 
     def increments(self) -> Iterator[int]:
+        """Yield increments growing with the square root of the round."""
         step_tuples = self.multiplier * math.sqrt(self.n)
         blocks_per_step = max(1, math.ceil(step_tuples / self.blocking_factor))
         while True:
             yield blocks_per_step
 
     def describe(self) -> str:
+        """Human-readable description of the schedule."""
         return f"sqrt(n={self.n}, mult={self.multiplier:g})"
 
 

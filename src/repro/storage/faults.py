@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._rng import RngLike, spawn_seeds
+from ..obs import metrics as _metrics
 from ..exceptions import (
     BuildAbortedError,
     PageCorruptionError,
@@ -176,6 +177,7 @@ class FaultyHeapFile(HeapFile):
 
     @property
     def num_readable_pages(self) -> int:
+        """Pages that are not permanently corrupt."""
         return self.num_pages - len(self._corrupt)
 
     def readable_values_unaccounted(self) -> np.ndarray:
@@ -201,6 +203,7 @@ class FaultyHeapFile(HeapFile):
     # ------------------------------------------------------------------
 
     def read_page(self, page_id: int) -> np.ndarray:
+        """Read a page, possibly raising an injected fault."""
         lo, hi = self.page_bounds(page_id)
         attempt = self._attempts.get(page_id, 0)
         self._attempts[page_id] = attempt + 1
@@ -208,6 +211,7 @@ class FaultyHeapFile(HeapFile):
             self.iostats.record_latency(self.policy.read_latency_s)
         if self.policy.transient_fault(page_id, attempt):
             self.iostats.record_failed_read(page_id)
+            _metrics.inc("repro_fault_events_total", kind="transient")
             raise TransientIOError(
                 f"transient I/O failure reading page {page_id} "
                 f"(attempt {attempt + 1})",
@@ -228,6 +232,7 @@ class FaultyHeapFile(HeapFile):
             payload = clean
         if page_checksum(payload) != expected:
             self.iostats.record_failed_read(page_id)
+            _metrics.inc("repro_fault_events_total", kind="corrupt")
             raise PageCorruptionError(
                 f"page {page_id} failed its checksum; it is permanently bad",
                 page_id=page_id,
@@ -236,6 +241,7 @@ class FaultyHeapFile(HeapFile):
         return payload
 
     def read_record(self, record_index: int):
+        """Read one record via :meth:`read_page` (faults included)."""
         if not 0 <= record_index < self.num_records:
             raise ParameterError(
                 f"record_index {record_index} out of range "
@@ -403,6 +409,7 @@ class BudgetTracker:
         self.simulated_s = 0.0
 
     def snapshot(self) -> dict:
+        """Plain-dict copy of the tracker state, for reporting."""
         return {
             "failed_reads": self.failed_reads,
             "skipped_pages": self.skipped_pages,
@@ -419,6 +426,7 @@ class BudgetTracker:
         )
 
     def charge_failure(self) -> None:
+        """Charge one failed read attempt against the budget."""
         self.failed_reads += 1
         if (
             self.max_failed_reads is not None
@@ -427,6 +435,7 @@ class BudgetTracker:
             self._abort(f"more than {self.max_failed_reads} failed reads")
 
     def charge_skip(self) -> None:
+        """Charge one permanently skipped page against the budget."""
         self.skipped_pages += 1
         if (
             self.max_skipped_pages is not None
@@ -435,6 +444,7 @@ class BudgetTracker:
             self._abort(f"more than {self.max_skipped_pages} pages skipped")
 
     def charge_delay(self, seconds: float) -> None:
+        """Charge *seconds* of simulated delay against the budget."""
         self.simulated_s += seconds
         if (
             self.max_simulated_s is not None
@@ -461,13 +471,16 @@ def read_page_resilient(
     attempts = retry.max_attempts if retry is not None else 1
     for attempt in range(attempts):
         try:
-            return heapfile.read_page(page_id)
+            payload = heapfile.read_page(page_id)
+            _metrics.inc("repro_resilient_reads_total", outcome="delivered")
+            return payload
         except PageCorruptionError:
             if budget is not None:
                 budget.charge_failure()
             heapfile.iostats.record_skip(page_id)
             if budget is not None:
                 budget.charge_skip()
+            _metrics.inc("repro_resilient_reads_total", outcome="skipped")
             return None
         except TransientIOError:
             if budget is not None:
@@ -484,6 +497,7 @@ def read_page_resilient(
     heapfile.iostats.record_skip(page_id)
     if budget is not None:
         budget.charge_skip()
+    _metrics.inc("repro_resilient_reads_total", outcome="skipped")
     return None
 
 

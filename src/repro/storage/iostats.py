@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+
 __all__ = ["IOStats"]
 
 
@@ -49,28 +51,36 @@ class IOStats:
 
     @property
     def pages_touched(self) -> int:
+        """Distinct pages fetched since construction or the last reset."""
         return len(self._touched)
 
     def record_read(self, page_id: int) -> None:
         """Account for one successful read of *page_id*."""
         self.page_reads += 1
         self._touched.add(page_id)
+        _metrics.inc("repro_read_attempts_total")
+        _metrics.inc("repro_page_reads_total")
 
     def record_failed_read(self, page_id: int) -> None:
         """Account for a read attempt of *page_id* that raised."""
         self.failed_reads += 1
+        _metrics.inc("repro_read_attempts_total")
+        _metrics.inc("repro_failed_reads_total")
 
     def record_retry(self, page_id: int) -> None:
         """Account for one retry issued after a transient fault."""
         self.retries += 1
+        _metrics.inc("repro_retries_total")
 
     def record_skip(self, page_id: int) -> None:
         """Account for permanently giving up on *page_id*."""
         self.pages_skipped += 1
+        _metrics.inc("repro_pages_skipped_total")
 
     def record_latency(self, seconds: float) -> None:
         """Accumulate *seconds* of simulated read/backoff latency."""
         self.simulated_latency_s += seconds
+        _metrics.inc("repro_simulated_latency_seconds_total", seconds)
 
     def reset(self) -> None:
         """Zero all counters, including the fault counters."""

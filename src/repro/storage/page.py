@@ -59,10 +59,12 @@ class Page:
 
     @property
     def is_full(self) -> bool:
+        """True when every slot is occupied."""
         return len(self._values) >= self.capacity
 
     @property
     def free_slots(self) -> int:
+        """Number of unoccupied slots."""
         return self.capacity - len(self._values)
 
     def append(self, value) -> int:

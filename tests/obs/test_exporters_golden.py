@@ -1,0 +1,88 @@
+"""Golden-file tests for the metric exporters and the trace log.
+
+One fixed, fully seeded scenario — a resilient CVB build over a faulty
+heap file — is rendered through every exporter and compared byte-for-byte
+against checked-in golden files.  Everything compared is deterministic:
+exports carry no timestamps, trace comparison uses the timing-redacted
+view, and even the I/O deltas are stable because read latency is simulated.
+
+Regenerate after an intentional format change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_exporters_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.adaptive import cvb_build
+from repro.obs import metrics, trace
+from repro.obs.metrics import render_json, render_text
+from repro.storage.faults import (
+    FaultPolicy,
+    FaultyHeapFile,
+    ReadBudget,
+    RetryPolicy,
+)
+from repro.storage.heapfile import HeapFile
+from repro.workloads.datasets import make_dataset
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _run_scenario():
+    """The pinned build every golden file is derived from."""
+    values = make_dataset("zipf2", 5_000, rng=7).values
+    base = HeapFile.from_values(
+        values, layout="random", rng=1, blocking_factor=25
+    )
+    faulty = FaultyHeapFile(
+        base,
+        FaultPolicy(transient_rate=0.1, corrupt_fraction=0.02, seed=2),
+    )
+    with metrics.collecting() as registry, trace.tracing() as recorder:
+        cvb_build(
+            faulty,
+            k=10,
+            f=0.25,
+            rng=3,
+            retry=RetryPolicy(max_attempts=5, seed=4),
+            budget=ReadBudget(max_skipped_fraction=0.5),
+        )
+    return registry, recorder
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{name} drifted from its golden file; if the change is "
+        f"intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+class TestGoldenExports:
+    def setup_method(self):
+        self.registry, self.recorder = _run_scenario()
+
+    def test_text_export_matches_golden(self):
+        _check_golden("metrics.txt", render_text(self.registry))
+
+    def test_json_export_matches_golden(self):
+        _check_golden("metrics.json", render_json(self.registry))
+
+    def test_trace_matches_golden(self):
+        _check_golden(
+            "trace.jsonl", self.recorder.to_jsonl(redact_timing=True)
+        )
+
+    def test_scenario_is_reproducible_in_process(self):
+        registry, recorder = _run_scenario()
+        assert render_text(registry) == render_text(self.registry)
+        assert recorder.to_jsonl(redact_timing=True) == self.recorder.to_jsonl(
+            redact_timing=True
+        )

@@ -1,0 +1,191 @@
+"""Instrumentation regression tests.
+
+Three guarantees from the observability layer's contract:
+
+1. **Bit-identical results** — enabling metrics collection and tracing
+   around a figure driver or the chaos sweep changes *nothing* about the
+   produced numbers (instrumentation observes, never consumes randomness).
+2. **Exact accounting** — the metrics exported from a chaos sweep tie out
+   against the sweep's own :class:`~repro.storage.iostats.IOStats` totals,
+   counter for counter.
+3. **Worker independence** — a parallel sweep aggregates the same metric
+   totals as the serial loop, for any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.chaos import chaos_sweep, format_chaos_report
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import figures_3_and_4
+from repro.experiments.reporting import format_series
+from repro.obs import metrics, trace
+
+MICRO = ExperimentScale(
+    name="micro",
+    n=20_000,
+    n_sweep=(10_000, 20_000),
+    k=10,
+    bins_sweep=(5, 10),
+    blocking_factor=25,
+    record_sizes=(32, 128),
+    trials=2,
+    rates=(0.05, 0.2),
+    f_target=0.3,
+    f_bins=0.3,
+)
+
+SWEEP_KWARGS = dict(
+    fault_rates=(0.0, 0.1),
+    n=10_000,
+    k=10,
+    f=0.25,
+    corrupt_fraction=0.02,
+    blocking_factor=25,
+    trials=2,
+    seed=17,
+)
+
+# A sweep where no build ever gives up pages or aborts, so per-trial
+# pages_skipped sums are directly comparable to the counter.
+CLEAN_SWEEP_KWARGS = dict(SWEEP_KWARGS, fault_rates=(0.0,), corrupt_fraction=0.0)
+
+
+def _chaos_text(**overrides) -> str:
+    return format_chaos_report(chaos_sweep(**{**SWEEP_KWARGS, **overrides}))
+
+
+class TestBitIdentical:
+    def test_chaos_report_identical_with_instrumentation_on(self):
+        plain = _chaos_text()
+        with metrics.collecting(), trace.tracing():
+            instrumented = _chaos_text()
+        assert instrumented == plain
+
+    def test_figure_series_identical_with_instrumentation_on(self):
+        def run():
+            result = figures_3_and_4(scale=MICRO, seed=3)
+            return format_series(
+                "f3", [result["rate"]]
+            ) + format_series("f4", [result["blocks"]])
+
+        plain = run()
+        with metrics.collecting(), trace.tracing():
+            instrumented = run()
+        assert instrumented == plain
+
+
+class TestChaosAccounting:
+    def _sweep_with_metrics(self, **overrides):
+        with metrics.collecting() as registry:
+            result = chaos_sweep(**{**SWEEP_KWARGS, **overrides})
+        return result, registry
+
+    def test_read_attempts_split_exactly(self):
+        result, registry = self._sweep_with_metrics()
+        page_reads = sum(p.iostats.page_reads for p in result["points"])
+        failed = sum(p.iostats.failed_reads for p in result["points"])
+        assert registry.counter_value("repro_page_reads_total") == page_reads
+        assert registry.counter_value("repro_failed_reads_total") == failed
+        assert (
+            registry.counter_value("repro_read_attempts_total")
+            == page_reads + failed
+        )
+
+    def test_retries_and_skips_tie_out(self):
+        result, registry = self._sweep_with_metrics()
+        retries = sum(p.iostats.retries for p in result["points"])
+        skipped = sum(p.iostats.pages_skipped for p in result["points"])
+        assert registry.counter_value("repro_retries_total") == retries
+        assert registry.counter_value("repro_pages_skipped_total") == skipped
+
+    def test_trial_and_build_counts(self):
+        result, registry = self._sweep_with_metrics()
+        trials = sum(p.trials for p in result["points"])
+        builds = registry.counter_value(
+            "repro_cvb_builds_total", outcome="converged"
+        ) + registry.counter_value(
+            "repro_cvb_builds_total", outcome="budget_stopped"
+        )
+        # Aborted builds raise before the outcome counter; completed ones
+        # are counted exactly once.
+        aborted = sum(p.aborted for p in result["points"])
+        assert builds == trials - aborted
+        assert registry.counter_value("repro_pool_trials_total") == trials
+
+    def test_fault_free_sweep_emits_no_fault_counters(self):
+        result, registry = self._sweep_with_metrics(**CLEAN_SWEEP_KWARGS)
+        assert all(not p.aborted for p in result["points"])
+        assert registry.counter_value("repro_failed_reads_total") == 0
+        assert registry.counter_value("repro_pages_skipped_total") == 0
+        assert (
+            registry.counter_value(
+                "repro_fault_events_total", kind="transient"
+            )
+            == 0
+        )
+
+
+class TestWorkerIndependence:
+    # Float-valued: summed in a different grouping across workers, so equal
+    # only up to float-addition reordering (~1 ulp), not bit-exact.
+    FLOAT_COUNTERS = {"repro_simulated_latency_seconds_total"}
+
+    def _totals(self, registry) -> dict:
+        snap = registry.snapshot()
+        # Histogram observations arrive in worker-completion chunks; the
+        # multiset is what must match, so compare sorted.
+        return {
+            "counters": [
+                entry
+                for entry in snap["counters"]
+                if entry[0] not in self.FLOAT_COUNTERS
+            ],
+            "float_counters": [
+                entry
+                for entry in snap["counters"]
+                if entry[0] in self.FLOAT_COUNTERS
+            ],
+            "histograms": [
+                [name, labels, sorted(values)]
+                for name, labels, values in snap["histograms"]
+                if name != "repro_pool_trial_seconds"  # wall time, not data
+            ],
+        }
+
+    def test_serial_and_parallel_aggregate_identically(self):
+        with metrics.collecting() as serial_registry:
+            serial = _chaos_text(workers=1)
+        with metrics.collecting() as parallel_registry:
+            parallel = _chaos_text(workers=2, chunk_size=1)
+        assert parallel == serial
+        serial_totals = self._totals(serial_registry)
+        parallel_totals = self._totals(parallel_registry)
+        # Pool-lifecycle series legitimately differ (executor events exist
+        # only in process mode, map mode label differs); everything the
+        # *trials* emitted must agree exactly.
+        lifecycle = {
+            "repro_pool_maps_total",
+            "repro_pool_executor_events_total",
+        }
+        for side in (serial_totals, parallel_totals):
+            side["counters"] = [
+                entry for entry in side["counters"] if entry[0] not in lifecycle
+            ]
+        serial_floats = serial_totals.pop("float_counters")
+        parallel_floats = parallel_totals.pop("float_counters")
+        assert parallel_totals == serial_totals
+        assert len(parallel_floats) == len(serial_floats)
+        for (name_s, labels_s, value_s), (name_p, labels_p, value_p) in zip(
+            serial_floats, parallel_floats
+        ):
+            assert (name_p, labels_p) == (name_s, labels_s)
+            assert math.isclose(value_p, value_s, rel_tol=1e-9)
+
+    def test_disabled_parent_ships_no_worker_snapshots(self):
+        # With collection off, parallel maps must not resurrect metrics.
+        assert not metrics.enabled()
+        text = _chaos_text(workers=2, chunk_size=1)
+        assert not metrics.enabled()
+        assert "fault_rate" in text

@@ -1,0 +1,191 @@
+"""Property tests: registry and IOStats merges are associative/commutative.
+
+These are the invariants that make cross-process aggregation through
+:class:`~repro.experiments.parallel.TrialPool` order- and
+chunking-independent: any split of the same per-trial emissions over worker
+registries must export identically once merged back.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, render_json, render_text
+from repro.storage.iostats import IOStats
+
+# One emission = (kind, name, labels, value); drawn from a small declared
+# subset so strict validation stays on.
+_counter_names = st.sampled_from(
+    ["repro_page_reads_total", "repro_retries_total"]
+)
+_labelled_counter = st.tuples(
+    st.just("repro_fault_events_total"),
+    st.sampled_from(["transient", "corrupt"]),
+)
+
+emissions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("counter"),
+            _counter_names,
+            st.just(None),
+            st.integers(min_value=0, max_value=100),
+        ),
+        st.tuples(
+            st.just("labelled"),
+            _labelled_counter,
+            st.just(None),
+            st.integers(min_value=0, max_value=100),
+        ),
+        st.tuples(
+            st.just("gauge"),
+            st.just("repro_pool_workers"),
+            st.just(None),
+            st.integers(min_value=0, max_value=16),
+        ),
+        st.tuples(
+            st.just("histogram"),
+            st.just("repro_cvb_deviation_ratio"),
+            st.just(None),
+            st.floats(
+                min_value=0, max_value=10, allow_nan=False
+            ),
+        ),
+    ),
+    max_size=40,
+)
+
+
+def _apply(registry: MetricsRegistry, emission) -> None:
+    kind, name, _, value = emission
+    if kind == "counter":
+        registry.inc(name, value)
+    elif kind == "labelled":
+        metric, label = name
+        registry.inc(metric, value, kind=label)
+    elif kind == "gauge":
+        registry.set_gauge(name, value)
+    else:
+        registry.observe(name, value)
+
+
+def _registry_of(chunk) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for emission in chunk:
+        _apply(registry, emission)
+    return registry
+
+
+def _export(registry: MetricsRegistry) -> tuple[str, str]:
+    return render_text(registry), render_json(registry)
+
+
+class TestRegistryMergeProperties:
+    @given(emissions=emissions, split=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_split_merges_to_the_serial_registry(self, emissions, split):
+        """Chunk the emission stream arbitrarily (simulating workers);
+        merging the chunk registries must export exactly like one registry
+        that saw everything."""
+        serial = _registry_of(emissions)
+
+        cuts = split.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(emissions)),
+                max_size=4,
+            )
+        )
+        boundaries = sorted({0, *cuts, len(emissions)})
+        chunks = [
+            emissions[lo:hi]
+            for lo, hi in zip(boundaries, boundaries[1:])
+        ]
+        merged = MetricsRegistry()
+        for chunk in chunks:
+            merged.merge(_registry_of(chunk))
+
+        # Gauges add under merge (per-process levels) while a single
+        # registry overwrites, so the serial/merged comparison covers the
+        # counter and histogram state.
+        def stable(registry):
+            snap = registry.snapshot()
+            return snap["counters"], snap["histograms"]
+
+        assert stable(merged) == stable(serial)
+
+    def test_gauges_add_under_merge(self):
+        a = MetricsRegistry()
+        a.set_gauge("repro_pool_workers", 4)
+        b = MetricsRegistry()
+        b.set_gauge("repro_pool_workers", 2)
+        assert a.merge(b).gauge_value("repro_pool_workers") == 6
+
+    @given(a=emissions, b=emissions)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, a, b):
+        left = _registry_of(a).merge(_registry_of(b))
+        right = _registry_of(b).merge(_registry_of(a))
+        assert _export(left) == _export(right)
+
+    @given(a=emissions, b=emissions, c=emissions)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        ab_c = _registry_of(a).merge(_registry_of(b)).merge(_registry_of(c))
+        bc = _registry_of(b).merge(_registry_of(c))
+        a_bc = _registry_of(a).merge(bc)
+        assert _export(ab_c) == _export(a_bc)
+
+    @given(emissions=emissions)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_is_identity(self, emissions):
+        reg = _registry_of(emissions)
+        baseline = _export(reg)
+        reg.merge(MetricsRegistry())
+        assert _export(reg) == baseline
+
+
+io_events = st.lists(
+    st.sampled_from(["read", "failed", "retry", "skip"]).flatmap(
+        lambda kind: st.tuples(
+            st.just(kind), st.integers(min_value=0, max_value=30)
+        )
+    ),
+    max_size=50,
+)
+
+
+def _iostats_of(events) -> IOStats:
+    io = IOStats()
+    for kind, page in events:
+        if kind == "read":
+            io.record_read(page)
+        elif kind == "failed":
+            io.record_failed_read(page)
+        elif kind == "retry":
+            io.record_retry(page)
+        else:
+            io.record_skip(page)
+    return io
+
+
+class TestIOStatsMergeProperties:
+    @given(a=io_events, b=io_events)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, a, b):
+        left = _iostats_of(a).merge(_iostats_of(b))
+        right = _iostats_of(b).merge(_iostats_of(a))
+        assert left.snapshot() == right.snapshot()
+
+    @given(a=io_events, b=io_events, c=io_events)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        ab_c = _iostats_of(a).merge(_iostats_of(b)).merge(_iostats_of(c))
+        a_bc = _iostats_of(a).merge(_iostats_of(b).merge(_iostats_of(c)))
+        assert ab_c.snapshot() == a_bc.snapshot()
+
+    @given(events=io_events, split=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_any_split_merges_to_the_serial_stats(self, events, split):
+        split = min(split, len(events))
+        serial = _iostats_of(events)
+        merged = _iostats_of(events[:split]).merge(_iostats_of(events[split:]))
+        assert merged.snapshot() == serial.snapshot()

@@ -1,0 +1,135 @@
+"""Trace spans: nesting, io deltas, error capture, disabled path."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import trace
+from repro.obs.trace import _NULL_SPAN, TIMING_KEYS, TraceRecorder
+from repro.storage.iostats import IOStats
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_without_recorder(self):
+        assert trace.active_recorder() is None
+        sp = trace.span("cvb.build", anything=1)
+        assert sp is _NULL_SPAN
+        with sp as inner:
+            inner.set(ignored=True)
+
+    def test_noop_span_records_nothing(self):
+        with trace.span("cvb.build"):
+            pass
+        assert trace.active_recorder() is None
+
+
+class TestRecording:
+    def test_sequential_ids_and_parenting(self):
+        with trace.tracing() as rec:
+            with trace.span("cvb.build"):
+                with trace.span("cvb.iteration", index=0):
+                    pass
+                with trace.span("cvb.iteration", index=1):
+                    pass
+        names = [(r.span_id, r.parent_id, r.name) for r in rec.records]
+        # Completion order: children close before their parent.
+        assert names == [
+            (1, 0, "cvb.iteration"),
+            (2, 0, "cvb.iteration"),
+            (0, None, "cvb.build"),
+        ]
+
+    def test_attrs_and_set(self):
+        with trace.tracing() as rec:
+            with trace.span("cvb.iteration", index=3) as sp:
+                sp.set(passed=True, observed_error=0.125)
+        (record,) = rec.records
+        assert record.attrs == {
+            "index": 3, "passed": True, "observed_error": 0.125,
+        }
+
+    def test_io_delta(self):
+        io = IOStats()
+        io.record_read(0)
+        with trace.tracing() as rec:
+            with trace.span("cvb.iteration", iostats=io):
+                io.record_read(1)
+                io.record_read(1)
+                io.record_failed_read(2)
+        (record,) = rec.records
+        assert record.io_delta["page_reads"] == 2
+        assert record.io_delta["failed_reads"] == 1
+        assert record.io_delta["pages_touched"] == 1
+
+    def test_error_attr_on_exception(self):
+        with trace.tracing() as rec:
+            with pytest.raises(ValueError):
+                with trace.span("cvb.build"):
+                    raise ValueError("boom")
+        (record,) = rec.records
+        assert record.attrs["error"] == "ValueError"
+
+    def test_strict_rejects_undeclared_span_name(self):
+        with trace.tracing():
+            with pytest.raises(ParameterError, match="not declared"):
+                with trace.span("made.up"):
+                    pass
+
+    def test_non_strict_recorder_allows_any_name(self):
+        with trace.tracing(TraceRecorder(strict=False)) as rec:
+            with trace.span("made.up"):
+                pass
+        assert rec.records[0].name == "made.up"
+
+    def test_tracing_restores_previous_recorder(self):
+        with trace.tracing() as outer:
+            with trace.span("cvb.build"):
+                pass
+            with trace.tracing() as inner:
+                with trace.span("pool.map"):
+                    pass
+            assert trace.active_recorder() is outer
+        assert trace.active_recorder() is None
+        assert [r.name for r in outer.records] == ["cvb.build"]
+        assert [r.name for r in inner.records] == ["pool.map"]
+
+
+class TestSerialisation:
+    def _recorded(self):
+        with trace.tracing() as rec:
+            with trace.span("cvb.build", k=10):
+                with trace.span("cvb.iteration", index=0):
+                    pass
+        return rec
+
+    def test_events_redact_timing_by_default(self):
+        events = self._recorded().events()
+        for event in events:
+            for key in TIMING_KEYS:
+                assert key not in event
+
+    def test_events_keep_timing_when_asked(self):
+        events = self._recorded().events(redact_timing=False)
+        assert all("t_wall" in e and "duration_s" in e for e in events)
+
+    def test_jsonl_is_one_object_per_line(self):
+        lines = self._recorded().to_jsonl().strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._recorded().write(str(path), redact_timing=True)
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["cvb.iteration", "cvb.build"]
+
+    def test_numpy_attrs_coerced(self):
+        np = pytest.importorskip("numpy")
+        with trace.tracing() as rec:
+            with trace.span("cvb.build", pages=np.int64(7)):
+                pass
+        event = rec.events()[0]
+        assert event["attrs"]["pages"] == 7
+        json.dumps(event)

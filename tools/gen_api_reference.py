@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Generate docs/API.md from the package's docstrings.
 
-Walks every public module of :mod:`repro`, collects the signatures and
-first docstring paragraphs of everything in ``__all__``, and renders one
-Markdown reference.  Regenerate after API changes:
+Walks every public module of :mod:`repro` grouped by subpackage, collects
+the signatures and first docstring paragraphs of everything in ``__all__``,
+and renders one Markdown reference with a table of contents.  Regenerate
+after API changes:
 
     python tools/gen_api_reference.py
 """
@@ -13,57 +14,126 @@ from __future__ import annotations
 import importlib
 import inspect
 import pathlib
+import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-MODULES = [
-    "repro",
-    "repro.core.histogram",
-    "repro.core.error_metrics",
-    "repro.core.bounds",
-    "repro.core.adaptive",
-    "repro.core.compressed",
-    "repro.core.equiwidth",
-    "repro.core.maxdiff",
-    "repro.core.merge",
-    "repro.core.serialization",
-    "repro.sampling.record_sampler",
-    "repro.sampling.block_sampler",
-    "repro.sampling.page_samplers",
-    "repro.sampling.schedule",
-    "repro.sampling.design_effect",
-    "repro.storage.heapfile",
-    "repro.storage.layout",
-    "repro.storage.page",
-    "repro.storage.record",
-    "repro.storage.iostats",
-    "repro.workloads.zipf",
-    "repro.workloads.distributions",
-    "repro.workloads.datasets",
-    "repro.workloads.queries",
-    "repro.distinct.frequency",
-    "repro.distinct.estimators",
-    "repro.distinct.bounds",
-    "repro.distinct.metrics",
-    "repro.engine.table",
-    "repro.engine.statistics",
-    "repro.engine.catalog",
-    "repro.engine.density",
-    "repro.engine.selectivity",
-    "repro.engine.joins",
-    "repro.engine.maintenance",
-    "repro.engine.serialization",
-    "repro.baselines.gmp",
-    "repro.baselines.psc",
-    "repro.experiments.config",
-    "repro.experiments.parallel",
-    "repro.experiments.runner",
-    "repro.experiments.figures",
-    "repro.experiments.reporting",
-    "repro.cli",
+#: (section title, blurb, modules) — one section per subpackage, in
+#: dependency order (storage at the bottom of the stack, CLI at the top).
+SECTIONS = [
+    (
+        "Package root",
+        "Top-level re-exports and shared infrastructure.",
+        ["repro", "repro.exceptions"],
+    ),
+    (
+        "repro.storage — simulated disk",
+        "Heap files, pages, layouts, I/O accounting and fault injection.",
+        [
+            "repro.storage.heapfile",
+            "repro.storage.layout",
+            "repro.storage.page",
+            "repro.storage.record",
+            "repro.storage.iostats",
+            "repro.storage.faults",
+        ],
+    ),
+    (
+        "repro.sampling — record- and block-level samplers",
+        "The two sampling regimes of Sections 3-4, plus step schedules.",
+        [
+            "repro.sampling.record_sampler",
+            "repro.sampling.block_sampler",
+            "repro.sampling.page_samplers",
+            "repro.sampling.schedule",
+            "repro.sampling.design_effect",
+        ],
+    ),
+    (
+        "repro.core — histograms, bounds, the adaptive algorithm",
+        "Equi-height histograms, error metrics, Corollary 1 bounds and the "
+        "cross-validation-based (CVB) adaptive build.",
+        [
+            "repro.core.histogram",
+            "repro.core.error_metrics",
+            "repro.core.bounds",
+            "repro.core.adaptive",
+            "repro.core.compressed",
+            "repro.core.equiwidth",
+            "repro.core.maxdiff",
+            "repro.core.merge",
+            "repro.core.serialization",
+        ],
+    ),
+    (
+        "repro.workloads — synthetic data and queries",
+        "The paper's Zipfian datasets and range-query workloads.",
+        [
+            "repro.workloads.zipf",
+            "repro.workloads.distributions",
+            "repro.workloads.datasets",
+            "repro.workloads.queries",
+        ],
+    ),
+    (
+        "repro.distinct — distinct-value estimation",
+        "Section 6: frequency profiles and the GEE family of estimators.",
+        [
+            "repro.distinct.frequency",
+            "repro.distinct.estimators",
+            "repro.distinct.bounds",
+            "repro.distinct.metrics",
+        ],
+    ),
+    (
+        "repro.engine — the SQL Server-shaped surface",
+        "Tables, ANALYZE, selectivity estimation, staleness policy and "
+        "degraded-mode resilience.",
+        [
+            "repro.engine.table",
+            "repro.engine.statistics",
+            "repro.engine.catalog",
+            "repro.engine.density",
+            "repro.engine.selectivity",
+            "repro.engine.joins",
+            "repro.engine.maintenance",
+            "repro.engine.resilience",
+            "repro.engine.serialization",
+        ],
+    ),
+    (
+        "repro.baselines — prior-work comparators",
+        "GMP incremental maintenance and the PSC sampling baseline.",
+        ["repro.baselines.gmp", "repro.baselines.psc"],
+    ),
+    (
+        "repro.experiments — figures, sweeps, the trial engine",
+        "Deterministic Monte-Carlo infrastructure and the paper's figures.",
+        [
+            "repro.experiments.config",
+            "repro.experiments.parallel",
+            "repro.experiments.runner",
+            "repro.experiments.figures",
+            "repro.experiments.reporting",
+            "repro.experiments.chaos",
+        ],
+    ),
+    (
+        "repro.obs — observability",
+        "Metrics registry, trace spans and exporters; see "
+        "docs/OBSERVABILITY.md for the full catalog.",
+        ["repro.obs.catalog", "repro.obs.metrics", "repro.obs.trace"],
+    ),
+    (
+        "Command line",
+        "`python -m repro` subcommands.",
+        ["repro.cli"],
+    ),
 ]
+
+MODULES = [module for _, _, modules in SECTIONS for module in modules]
 
 
 def first_paragraph(doc: str | None) -> str:
@@ -80,9 +150,15 @@ def signature_of(obj) -> str:
         return ""
 
 
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a Markdown heading."""
+    text = heading.lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9_\-]", "", text)
+
+
 def render_module(module_name: str) -> list[str]:
     module = importlib.import_module(module_name)
-    lines = [f"## `{module_name}`", ""]
+    lines = [f"### `{module_name}`", ""]
     lines.append(first_paragraph(module.__doc__))
     lines.append("")
     names = [n for n in getattr(module, "__all__", []) if not n.startswith("_")]
@@ -91,7 +167,7 @@ def render_module(module_name: str) -> list[str]:
         if obj is None or inspect.ismodule(obj):
             continue
         if inspect.isclass(obj):
-            lines.append(f"### class `{name}`")
+            lines.append(f"#### class `{name}`")
             lines.append("")
             lines.append(first_paragraph(obj.__doc__))
             lines.append("")
@@ -108,12 +184,12 @@ def render_module(module_name: str) -> list[str]:
             if methods:
                 lines.append("")
         elif callable(obj):
-            lines.append(f"### `{name}{signature_of(obj)}`")
+            lines.append(f"#### `{name}{signature_of(obj)}`")
             lines.append("")
             lines.append(first_paragraph(obj.__doc__))
             lines.append("")
         else:
-            lines.append(f"### data `{name}`")
+            lines.append(f"#### data `{name}`")
             lines.append("")
             lines.append(f"`{obj!r}`"[:300])
             lines.append("")
@@ -127,9 +203,21 @@ def main() -> None:
         "Auto-generated from docstrings by `tools/gen_api_reference.py`; "
         "do not edit by hand.",
         "",
+        "## Contents",
+        "",
     ]
-    for module_name in MODULES:
-        out.extend(render_module(module_name))
+    for title, _, modules in SECTIONS:
+        out.append(f"- [{title}](#{github_anchor(title)})")
+        for module in modules:
+            out.append(f"  - [`{module}`](#{github_anchor(f'`{module}`')})")
+    out.append("")
+    for title, blurb, modules in SECTIONS:
+        out.append(f"## {title}")
+        out.append("")
+        out.append(blurb)
+        out.append("")
+        for module in modules:
+            out.extend(render_module(module))
     target = ROOT / "docs" / "API.md"
     target.parent.mkdir(exist_ok=True)
     target.write_text("\n".join(out) + "\n")
