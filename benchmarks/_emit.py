@@ -1,0 +1,41 @@
+"""Machine-readable emission for the benchmark suite.
+
+The txt reports under ``benchmarks/results/`` are written for humans; this
+helper writes the same numbers as schema-versioned JSON next to them, so
+trajectory tooling (and ``repro bench --compare``-style diffing) can parse
+a suite's output without scraping tables.  The version constant is shared
+with :mod:`repro.obs.bench` — one schema lineage for every bench artefact.
+
+Suites opt in individually by calling :func:`emit_json` after their
+``report(...)`` call; suites that have not been ported remain txt-only
+(the list lives in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Write *payload* to ``benchmarks/results/<name>.json`` and return the path.
+
+    The document wraps *payload* with ``schema_version`` (shared with the
+    ``repro bench`` reports), ``kind: "bench-suite"`` and the suite *name*;
+    keys are sorted and the file ends in a newline, so reruns of a
+    deterministic suite are byte-identical.
+    """
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench-suite",
+        "suite": name,
+    }
+    document.update(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

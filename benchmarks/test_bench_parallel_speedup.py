@@ -21,6 +21,7 @@ import os
 import time
 
 import numpy as np
+from _emit import emit_json
 from conftest import run_once
 
 from repro.experiments import reporting
@@ -111,6 +112,25 @@ def test_parallel_sweep_is_bit_identical_and_fast(benchmark, report):
         ]
     )
     report("parallel_speedup", text)
+    emit_json(
+        "parallel_speedup",
+        {
+            "params": {
+                "scale": scale.name,
+                "trials_per_point": TRIALS,
+                "parallel_workers": PARALLEL_WORKERS,
+                "cores": os.cpu_count(),
+            },
+            "serial": {"wall_s": serial_wall, "page_reads": serial_reads},
+            "parallel": {
+                "wall_s": par_wall,
+                "page_reads": par_reads,
+                "mode": mode,
+            },
+            "errors_identical": par_errors == serial_errors,
+            "speedup": speedup,
+        },
+    )
 
     assert_speedup = (
         (os.cpu_count() or 1) >= 4

@@ -37,9 +37,16 @@ Four subcommands expose the library to shell users:
     (``--format text|json``, optionally ``--out FILE``) after the wrapped
     command finishes.  Example: ``python -m repro metrics demo zipf2``.
 
-``figure`` and ``chaos`` additionally accept ``--trace FILE`` to record a
-structured span trace (JSON lines) of the run; see docs/OBSERVABILITY.md
-for how to read one.
+``bench``
+    Deterministic benchmark harness (:mod:`repro.obs.bench`): run the
+    scenario registry, write a schema-versioned ``BENCH_*.json`` report,
+    optionally ``--compare`` against a baseline (logical costs exact,
+    wall-clock threshold-gated), ``--update-baseline``, or ``--profile``
+    each scenario through :mod:`cProfile`.
+
+``figure``, ``chaos`` and ``bench`` additionally accept ``--trace FILE`` to
+record a structured span trace (JSON lines) of the run; see
+docs/OBSERVABILITY.md for how to read one.
 """
 
 from __future__ import annotations
@@ -229,6 +236,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", help="also write the report to FILE"
     )
     chaos.add_argument(
+        "--trace", metavar="FILE",
+        help="record a span trace of the run to FILE (JSON lines)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="deterministic benchmark harness with baseline comparison",
+    )
+    bench.add_argument(
+        "--scenario", action="append", metavar="NAME", dest="scenarios",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bench.add_argument(
+        "--scale", choices=("smoke", "default"), default=None,
+        help="workload size (default: $REPRO_BENCH_SCALE or 'smoke')",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per scenario; the median is reported (default 3)",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed runs before timing starts (default 1)",
+    )
+    bench.add_argument(
+        "--out", metavar="FILE",
+        help="report path (default BENCH_<YYYYMMDD>_<shortsha>.json)",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE",
+        help="gate against a baseline report: exit nonzero when a logical "
+             "cost drifts",
+    )
+    bench.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="RATIO",
+        help="with --compare, also fail when a scenario's wall-clock "
+             "median exceeds RATIO x the baseline (default: report only)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="also write the report to benchmarks/baseline.json",
+    )
+    bench.add_argument(
+        "--profile", metavar="DIR",
+        help="cProfile every scenario into DIR (<name>.pstats + "
+             "<name>_top.txt)",
+    )
+    bench.add_argument(
         "--trace", metavar="FILE",
         help="record a span trace of the run to FILE (JSON lines)",
     )
@@ -543,6 +602,87 @@ def _chaos_run(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    if args.repeats < 1:
+        print(
+            f"error: --repeats must be >= 1, got {args.repeats}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warmup < 0:
+        print(
+            f"error: --warmup must be >= 0, got {args.warmup}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wall_tolerance is not None and args.wall_tolerance <= 0:
+        print(
+            f"error: --wall-tolerance must be positive, "
+            f"got {args.wall_tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from .obs import bench
+
+    if args.list:
+        for name in bench.scenario_names():
+            scenario = bench.SCENARIOS[name]
+            print(f"{name:<22} {scenario.help}")
+            print(f"{'':<22} paper: {scenario.paper}")
+        return 0
+
+    with _maybe_tracing(args.trace, "bench"):
+        return _bench_run(args, bench)
+
+
+def _bench_run(args, bench) -> int:
+    import json
+
+    report = bench.run_bench(
+        scenarios=args.scenarios,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        profile_dir=args.profile,
+        progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
+    )
+    print(bench.format_report(report))
+
+    out = args.out or bench.default_report_name()
+    bench.write_report(report, out)
+    print(f"bench report written to {out}", file=sys.stderr)
+    if args.profile:
+        print(
+            f"profiles written to {args.profile}/<scenario>.pstats",
+            file=sys.stderr,
+        )
+    if args.update_baseline:
+        baseline_path = "benchmarks/baseline.json"
+        bench.write_report(report, baseline_path)
+        print(f"baseline updated at {baseline_path}", file=sys.stderr)
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        failures, notes = bench.compare_reports(
+            report, baseline, wall_tolerance=args.wall_tolerance
+        )
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
+        if failures:
+            print(
+                f"bench comparison FAILED against {args.compare}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  regression: {failure}", file=sys.stderr)
+            return 3
+        print(f"bench comparison passed against {args.compare}", file=sys.stderr)
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     from .obs import metrics as obs_metrics
 
@@ -586,6 +726,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "figure": _cmd_figure,
         "chaos": _cmd_chaos,
+        "bench": _cmd_bench,
         "metrics": _cmd_metrics,
     }
     try:

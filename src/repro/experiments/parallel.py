@@ -118,6 +118,27 @@ class TrialStats:
         """Realised speedup vs running the same trials back-to-back."""
         return self.trial_time_total_s / self.elapsed_s if self.elapsed_s else 1.0
 
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-able) form of the stats.
+
+        The integer fields (``trials`` / ``workers`` / ``chunk_size`` /
+        ``num_chunks`` / ``page_reads``) and ``mode`` are deterministic for
+        a fixed seed and worker count; the ``*_s`` timing fields are not —
+        consumers building deterministic artifacts (the bench harness's
+        logical sections) must select the former.
+        """
+        return {
+            "trials": self.trials,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "num_chunks": self.num_chunks,
+            "mode": self.mode,
+            "elapsed_s": self.elapsed_s,
+            "trial_time_total_s": self.trial_time_total_s,
+            "trial_time_max_s": self.trial_time_max_s,
+            "page_reads": self.page_reads,
+        }
+
     def summary(self) -> str:
         """One-line human-readable summary of the map's cost."""
         return (

@@ -10,7 +10,13 @@ A zero-dependency subsystem the rest of the library reports into:
   with wall-clock and monotonic timings plus per-span IOStats deltas;
 - :mod:`repro.obs.catalog` — the **declared surface**: every metric name
   and span name the library may emit, which emissions are validated
-  against and which ``docs/OBSERVABILITY.md`` documents exhaustively.
+  against and which ``docs/OBSERVABILITY.md`` documents exhaustively;
+- :mod:`repro.obs.bench` — the **deterministic benchmark harness**
+  (``python -m repro bench``): named scenarios measuring wall-clock plus
+  RNG-inert logical costs, a baseline comparator, and cProfile hooks.
+  Unlike its siblings it drives the library from above, so it is *not*
+  imported here (that would cycle through storage); import it explicitly
+  as ``from repro.obs import bench``.
 
 Everything is **off by default and cheap when off**: with no active
 registry or recorder, each hook is a single no-op call, and instrumentation

@@ -1,0 +1,882 @@
+"""Deterministic benchmark harness: the library's own cost story, measured.
+
+The paper's central claim is a *cost* claim — the Theorem 4/5 sample sizes
+and the CVB stopping rule buy bounded histogram error for a small,
+predictable I/O and CPU budget.  This module closes the loop on that claim
+for the reproduction itself: a registry of named **scenarios** covering
+every hot path the cost story runs through (record sampling, block
+sampling, the CVB build, histogram merging, distinct estimation,
+selectivity lookup, and :class:`~repro.experiments.parallel.TrialPool`
+scaling at 1/2/4 workers), each measured two ways:
+
+- **logical costs** — pages read (via
+  :class:`~repro.storage.iostats.IOStats`), counters from the
+  :class:`~repro.obs.metrics.MetricsRegistry`, and the scenario's own
+  deterministic outputs.  These are RNG-inert: two runs with the same seed
+  produce byte-identical logical sections, so a regression (an extra page
+  read per build, a changed CVB round count) is detectable *exactly*, even
+  on a noisy CI runner.
+- **wall-clock** — median over ``repeats`` timed runs after ``warmup``
+  untimed runs, reported but never part of the deterministic section.
+
+:func:`run_bench` produces a schema-versioned report
+(:data:`BENCH_SCHEMA_VERSION`) conventionally written as
+``BENCH_<YYYYMMDD>_<shortsha>.json`` at the repo root — the perf
+trajectory — and :func:`compare_reports` gates a report against a
+checked-in baseline (``benchmarks/baseline.json``): logical costs must
+match exactly, wall-clock is threshold-gated only when a tolerance is
+given.  ``--profile DIR`` wraps each scenario in :mod:`cProfile` and dumps
+a loadable ``.pstats`` plus a top-N hot-function text report per scenario.
+
+Layering note: unlike the rest of :mod:`repro.obs`, this module imports
+*downward* into sampling/core/engine/experiments — it is a harness that
+drives the library, not infrastructure the library reports into.  It is
+therefore **not** imported by ``repro.obs.__init__`` (that would cycle);
+import it explicitly as ``from repro.obs import bench``.
+
+Shell entry point::
+
+    python -m repro bench                       # run, write BENCH_*.json
+    python -m repro bench --list                # show the scenario registry
+    python -m repro bench --compare benchmarks/baseline.json
+    python -m repro bench --update-baseline
+    python -m repro bench --profile prof/ --trace bench-trace.jsonl
+"""
+
+from __future__ import annotations
+
+import cProfile
+import datetime
+import json
+import math
+import os
+import pstats
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchScale",
+    "SCALES",
+    "Scenario",
+    "SCENARIOS",
+    "scenario_names",
+    "run_scenario",
+    "run_bench",
+    "logical_section",
+    "compare_reports",
+    "write_report",
+    "default_report_name",
+    "git_short_sha",
+    "write_profile",
+    "format_report",
+]
+
+#: Version stamp of the BENCH_*.json report layout.  Bump on any breaking
+#: change to the report structure; :func:`compare_reports` refuses to
+#: compare across versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Histogram metrics whose observations are wall-clock measurements; they
+#: are excluded from the deterministic logical section.
+_TIMING_METRICS = frozenset({"repro_pool_trial_seconds"})
+
+
+# ----------------------------------------------------------------------
+# Scales
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizing for one bench run.
+
+    ``smoke`` keeps every scenario under a couple of seconds so the full
+    registry fits in a CI gate; ``default`` is a heavier local profile for
+    investigating a regression the smoke gate caught.
+    """
+
+    name: str
+    #: Table rows for the synthetic dataset behind every scenario.
+    n: int
+    #: Records per simulated disk page.
+    blocking_factor: int
+    #: Histogram bucket count.
+    k: int
+    #: Tuples drawn by the record-sampling scenario.
+    record_sample: int
+    #: Pages drawn by the block-sampling scenario.
+    block_sample: int
+    #: Range queries answered by the selectivity scenario.
+    queries: int
+    #: Monte-Carlo trials per TrialPool scenario.
+    pool_trials: int
+    #: Block-sampling rate used inside the TrialPool scenarios.
+    pool_rate: float
+
+
+#: The available workload sizes, keyed by name.
+SCALES: dict[str, BenchScale] = {
+    scale.name: scale
+    for scale in (
+        BenchScale(
+            name="smoke",
+            n=20_000,
+            blocking_factor=50,
+            k=20,
+            record_sample=500,
+            block_sample=80,
+            queries=200,
+            pool_trials=6,
+            pool_rate=0.1,
+        ),
+        BenchScale(
+            name="default",
+            n=100_000,
+            blocking_factor=50,
+            k=50,
+            record_sample=2_000,
+            block_sample=400,
+            queries=1_000,
+            pool_trials=12,
+            pool_rate=0.1,
+        ),
+    )
+}
+
+
+def _get_scale(scale: str | BenchScale | None) -> BenchScale:
+    if isinstance(scale, BenchScale):
+        return scale
+    resolved = scale or os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if resolved not in SCALES:
+        raise ParameterError(
+            f"unknown bench scale {resolved!r}; choose one of {sorted(SCALES)}"
+        )
+    return SCALES[resolved]
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark: a setup, a measured kernel, and its paper hook.
+
+    ``setup(scale, seed)`` builds a context dict once per bench run (data
+    materialisation is never timed); ``run(ctx)`` executes the measured
+    kernel and returns a dict of deterministic outputs that become part of
+    the logical section; ``teardown(ctx)``, when given, releases resources
+    (worker pools) after the scenario completes.  A context may carry a
+    ``"heapfile"`` entry, in which case the harness also records the
+    :class:`~repro.storage.iostats.IOStats` delta of the logical run.
+    """
+
+    name: str
+    #: Paper symbol / figure the scenario's cost maps to (see EXPERIMENTS.md).
+    paper: str
+    help: str
+    setup: Callable[[BenchScale, int], dict]
+    run: Callable[[dict], dict]
+    teardown: Callable[[dict], None] | None = None
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ParameterError(f"duplicate bench scenario {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration (execution) order."""
+    return list(SCENARIOS)
+
+
+def _make_table(scale: BenchScale, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The shared synthetic column: zipf2 values plus their sorted copy."""
+    from ..workloads.datasets import make_dataset
+
+    values = make_dataset("zipf2", scale.n, rng=seed).values
+    return values, np.sort(values)
+
+
+def _make_heapfile(scale: BenchScale, seed: int):
+    """Materialise the shared column as a randomly laid-out heap file."""
+    from ..storage.heapfile import HeapFile
+
+    values, sorted_values = _make_table(scale, seed)
+    heapfile = HeapFile.from_values(
+        values,
+        layout="random",
+        rng=seed + 1,
+        blocking_factor=scale.blocking_factor,
+    )
+    return values, sorted_values, heapfile
+
+
+# --- record sampling ---------------------------------------------------
+
+
+def _record_sampling_setup(scale: BenchScale, seed: int) -> dict:
+    """Heap file plus the draw size for the record-sampling kernel."""
+    _, _, heapfile = _make_heapfile(scale, seed)
+    return {"heapfile": heapfile, "r": scale.record_sample, "seed": seed + 2}
+
+
+def _record_sampling_run(ctx: dict) -> dict:
+    """Draw ``r`` tuples through the page-per-tuple cost model."""
+    from ..sampling.record_sampler import sample_records_from_file
+
+    sample = sample_records_from_file(
+        ctx["heapfile"], ctx["r"], rng=ctx["seed"]
+    )
+    return {
+        "tuples": int(sample.size),
+        "sample_sum": float(math.fsum(sample.tolist())),
+    }
+
+
+_register(
+    Scenario(
+        name="record_sampling",
+        paper="Section 3 / Theorem 4: r tuples cost r page reads",
+        help="sample_records_from_file at the Theorem 4 cost model",
+        setup=_record_sampling_setup,
+        run=_record_sampling_run,
+    )
+)
+
+
+# --- block sampling ----------------------------------------------------
+
+
+def _block_sampling_setup(scale: BenchScale, seed: int) -> dict:
+    """Heap file plus the page-draw size for the block-sampling kernel."""
+    _, _, heapfile = _make_heapfile(scale, seed)
+    return {
+        "heapfile": heapfile,
+        "num_blocks": scale.block_sample,
+        "seed": seed + 3,
+    }
+
+
+def _block_sampling_run(ctx: dict) -> dict:
+    """Sample whole pages — the Section 4 alternative the paper argues for."""
+    from ..sampling.block_sampler import sample_blocks
+
+    sample = sample_blocks(ctx["heapfile"], ctx["num_blocks"], rng=ctx["seed"])
+    return {
+        "tuples": int(sample.size),
+        "sample_sum": float(math.fsum(sample.tolist())),
+    }
+
+
+_register(
+    Scenario(
+        name="block_sampling",
+        paper="Section 4 / Figure 4: blocks sampled are the I/O unit",
+        help="sample_blocks page-level draws",
+        setup=_block_sampling_setup,
+        run=_block_sampling_run,
+    )
+)
+
+
+# --- CVB build ---------------------------------------------------------
+
+
+def _cvb_setup(scale: BenchScale, seed: int) -> dict:
+    """Heap file plus target parameters for the adaptive CVB build."""
+    _, _, heapfile = _make_heapfile(scale, seed)
+    return {"heapfile": heapfile, "k": scale.k, "seed": seed + 4}
+
+
+def _cvb_run(ctx: dict) -> dict:
+    """One full cross-validation-based adaptive build (Theorem 7)."""
+    from ..core.adaptive import cvb_build
+
+    result = cvb_build(ctx["heapfile"], k=ctx["k"], f=0.25, rng=ctx["seed"])
+    return {
+        "pages_sampled": int(result.pages_sampled),
+        "tuples_sampled": int(result.tuples_sampled),
+        "iterations": len(result.iterations),
+        "converged": bool(result.converged),
+    }
+
+
+_register(
+    Scenario(
+        name="cvb_build",
+        paper="Section 6 / Theorem 7 and Figure 6: adaptive stopping cost",
+        help="cvb_build adaptive sampling to a target error",
+        setup=_cvb_setup,
+        run=_cvb_run,
+    )
+)
+
+
+# --- histogram merge ---------------------------------------------------
+
+
+def _merge_setup(scale: BenchScale, seed: int) -> dict:
+    """Two partition histograms over disjoint halves of the column."""
+    from ..core.histogram import EquiHeightHistogram
+
+    values, _ = _make_table(scale, seed)
+    half = values.size // 2
+    return {
+        "left": EquiHeightHistogram.from_values(values[:half], scale.k),
+        "right": EquiHeightHistogram.from_values(values[half:], scale.k),
+        "k": scale.k,
+    }
+
+
+def _merge_run(ctx: dict) -> dict:
+    """Merge the two partition histograms into one k-bucket summary."""
+    from ..core.merge import merge_equi_height
+
+    merged = merge_equi_height(ctx["left"], ctx["right"], ctx["k"])
+    return {
+        "k": int(merged.k),
+        "total": int(merged.total),
+        "separator_sum": float(math.fsum(merged.separators.tolist())),
+    }
+
+
+_register(
+    Scenario(
+        name="merge_equi_height",
+        paper="DESIGN.md partitioned ANALYZE: union-apportion-rebucket merge",
+        help="merge_equi_height partition-histogram merging",
+        setup=_merge_setup,
+        run=_merge_run,
+    )
+)
+
+
+# --- distinct estimation ----------------------------------------------
+
+
+def _distinct_setup(scale: BenchScale, seed: int) -> dict:
+    """A with-replacement tuple sample for the GEE frequency profile."""
+    from ..sampling.record_sampler import sample_with_replacement
+
+    values, _ = _make_table(scale, seed)
+    sample = sample_with_replacement(values, scale.record_sample, rng=seed + 5)
+    return {"sample": sample, "n": scale.n}
+
+
+def _distinct_run(ctx: dict) -> dict:
+    """Profile the sample and run the paper's GEE distinct estimator."""
+    from ..distinct.estimators import GEEEstimator
+    from ..distinct.frequency import FrequencyProfile
+
+    profile = FrequencyProfile.from_sample(ctx["sample"])
+    estimate = GEEEstimator().estimate(profile, ctx["n"])
+    return {
+        "estimate": float(estimate),
+        "distinct_in_sample": int(profile.distinct_in_sample),
+    }
+
+
+_register(
+    Scenario(
+        name="distinct_gee",
+        paper="Section 6.3 / Theorem 8 and Figures 9-10: the GEE estimator",
+        help="FrequencyProfile + GEE distinct-value estimation",
+        setup=_distinct_setup,
+        run=_distinct_run,
+    )
+)
+
+
+# --- selectivity lookup ------------------------------------------------
+
+
+def _selectivity_setup(scale: BenchScale, seed: int) -> dict:
+    """A histogram-backed estimator plus a random range-query workload."""
+    from ..core.histogram import EquiHeightHistogram
+    from ..engine.selectivity import RangeSelectivityEstimator
+    from ..workloads.queries import random_range_queries
+
+    values, sorted_values = _make_table(scale, seed)
+    histogram = EquiHeightHistogram.from_values(values, scale.k)
+    return {
+        "estimator": RangeSelectivityEstimator(histogram, scale.n),
+        "queries": random_range_queries(
+            sorted_values, scale.queries, rng=seed + 6
+        ),
+    }
+
+
+def _selectivity_run(ctx: dict) -> dict:
+    """Answer the whole workload — the optimizer's per-query hot path."""
+    estimator = ctx["estimator"]
+    estimates = [estimator.estimate(query) for query in ctx["queries"]]
+    return {
+        "queries": len(estimates),
+        "estimate_sum": float(math.fsum(estimates)),
+    }
+
+
+_register(
+    Scenario(
+        name="selectivity_lookup",
+        paper="Section 2 / Theorem 3: range estimates from the histogram",
+        help="RangeSelectivityEstimator over a random range workload",
+        setup=_selectivity_setup,
+        run=_selectivity_run,
+    )
+)
+
+
+# --- TrialPool scaling -------------------------------------------------
+
+
+def _pool_setup(workers: int) -> Callable[[BenchScale, int], dict]:
+    """Build a setup function binding the TrialPool worker count."""
+
+    def _setup(scale: BenchScale, seed: int) -> dict:
+        from ..experiments.parallel import TrialPool
+
+        _, sorted_values, heapfile = _make_heapfile(scale, seed)
+        return {
+            "heapfile": heapfile,
+            "sorted_values": sorted_values,
+            "pool": TrialPool(max_workers=workers),
+            "scale": scale,
+            "seed": seed + 7,
+        }
+
+    return _setup
+
+
+def _pool_run(ctx: dict) -> dict:
+    """One ``mean_error_at_rate`` fan-out through the trial pool."""
+    from ..experiments.runner import mean_error_at_rate
+
+    scale: BenchScale = ctx["scale"]
+    error = mean_error_at_rate(
+        ctx["heapfile"],
+        ctx["sorted_values"],
+        scale.pool_rate,
+        scale.k,
+        trials=scale.pool_trials,
+        rng=ctx["seed"],
+        pool=ctx["pool"],
+    )
+    stats = ctx["pool"].last_stats.to_dict()
+    return {
+        "median_error": float(error),
+        "trials": stats["trials"],
+        "workers": stats["workers"],
+        "mode": stats["mode"],
+        "num_chunks": stats["num_chunks"],
+        "page_reads": stats["page_reads"],
+    }
+
+
+def _pool_teardown(ctx: dict) -> None:
+    """Release the scenario's worker processes."""
+    ctx["pool"].close()
+
+
+for _workers in (1, 2, 4):
+    _register(
+        Scenario(
+            name=f"trialpool_w{_workers}",
+            paper=(
+                "Trial engine (PR 1): bit-identical Monte-Carlo fan-out at "
+                f"{_workers} worker(s)"
+            ),
+            help=f"mean_error_at_rate through a TrialPool of {_workers}",
+            setup=_pool_setup(_workers),
+            run=_pool_run,
+            teardown=_pool_teardown,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def _registry_logical(registry: _metrics.MetricsRegistry) -> dict:
+    """Flatten a registry snapshot into a deterministic {series: value} map.
+
+    Counter and gauge series map to their values; histogram series map to
+    ``_count`` / ``_sum`` pairs (the exactly-rounded ``fsum``), except the
+    wall-clock-valued series in :data:`_TIMING_METRICS`, which are dropped
+    so the logical section stays RNG-inert and machine-independent.
+    """
+    snap = registry.snapshot()
+    out: dict[str, float] = {}
+
+    def _series(name: str, labels: dict) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{name}{{{inner}}}"
+
+    for name, labels, value in snap["counters"]:
+        out[_series(name, labels)] = value
+    for name, labels, value in snap["gauges"]:
+        out[_series(name, labels)] = value
+    for name, labels, values in snap["histograms"]:
+        if name in _TIMING_METRICS:
+            continue
+        key = _series(name, labels)
+        out[key + "_count"] = len(values)
+        out[key + "_sum"] = math.fsum(values)
+    return out
+
+
+def write_profile(
+    profiler: cProfile.Profile, directory: Path, name: str, top: int = 25
+) -> Path:
+    """Dump *profiler* as ``<name>.pstats`` plus a top-*top* text report.
+
+    Returns the ``.pstats`` path; the companion ``<name>_top.txt`` lists the
+    hottest functions by cumulative time, for reading without a pstats
+    viewer.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stats_path = directory / f"{name}.pstats"
+    profiler.dump_stats(stats_path)
+    with open(directory / f"{name}_top.txt", "w") as handle:
+        stats = pstats.Stats(str(stats_path), stream=handle)
+        stats.sort_stats("cumulative").print_stats(top)
+    return stats_path
+
+
+def run_scenario(
+    scenario: Scenario,
+    scale: BenchScale,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    profile_dir: str | Path | None = None,
+) -> dict:
+    """Measure one scenario; returns its report entry.
+
+    Phases, in order (each wrapped in a ``bench.scenario`` trace span):
+
+    1. ``setup`` — build the context (never timed, never collected);
+    2. ``logical`` — one run under a fresh metrics registry with the
+       heap file's ``IOStats`` delta captured: the deterministic section;
+    3. ``measure`` — *warmup* untimed runs, then *repeats* timed runs
+       summarised as median/min/max wall-clock;
+    4. ``profile`` — with *profile_dir*, one extra run under
+       :mod:`cProfile`, dumped via :func:`write_profile`.
+    """
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ParameterError(f"warmup must be >= 0, got {warmup}")
+
+    with _trace.span("bench.scenario", scenario=scenario.name, phase="setup"):
+        ctx = scenario.setup(scale, seed)
+    try:
+        heapfile = ctx.get("heapfile")
+        with _trace.span(
+            "bench.scenario", scenario=scenario.name, phase="logical"
+        ):
+            with _metrics.collecting() as registry:
+                if heapfile is not None:
+                    with heapfile.iostats.delta() as io_delta:
+                        result = scenario.run(ctx)
+                else:
+                    io_delta = {}
+                    result = scenario.run(ctx)
+        logical = {
+            "result": result,
+            "io": io_delta,
+            "counters": _registry_logical(registry),
+        }
+
+        durations: list[float] = []
+        with _trace.span(
+            "bench.scenario",
+            scenario=scenario.name,
+            phase="measure",
+            repeats=repeats,
+            warmup=warmup,
+        ):
+            for _ in range(warmup):
+                scenario.run(ctx)
+            for _ in range(repeats):
+                start = time.perf_counter()
+                scenario.run(ctx)
+                durations.append(time.perf_counter() - start)
+
+        entry = {
+            "help": scenario.help,
+            "paper": scenario.paper,
+            "logical": logical,
+            "wall": {
+                "median_s": statistics.median(durations),
+                "min_s": min(durations),
+                "max_s": max(durations),
+                "repeats": repeats,
+                "warmup": warmup,
+            },
+        }
+
+        if profile_dir is not None:
+            with _trace.span(
+                "bench.scenario", scenario=scenario.name, phase="profile"
+            ):
+                profiler = cProfile.Profile()
+                profiler.runcall(scenario.run, ctx)
+                write_profile(profiler, Path(profile_dir), scenario.name)
+        return entry
+    finally:
+        if scenario.teardown is not None:
+            scenario.teardown(ctx)
+
+
+def run_bench(
+    scenarios: list[str] | None = None,
+    scale: str | BenchScale | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    profile_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run *scenarios* (default: the whole registry) and build a report.
+
+    The report is the BENCH_*.json document: ``schema_version``, the run
+    parameters, one entry per scenario (see :func:`run_scenario`), and a
+    ``meta`` block (timestamp, git sha, python version) that is excluded
+    from every determinism comparison.
+    """
+    bench_scale = _get_scale(scale)
+    names = scenario_names() if scenarios is None else list(scenarios)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ParameterError(
+            f"unknown bench scenario(s) {unknown}; "
+            f"choose from {scenario_names()}"
+        )
+    report: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "scale": bench_scale.name,
+        "seed": seed,
+        "repeats": repeats,
+        "warmup": warmup,
+        "scenarios": {},
+    }
+    with _trace.span("bench.run", scale=bench_scale.name, scenarios=len(names)):
+        for name in names:
+            if progress is not None:
+                progress(name)
+            report["scenarios"][name] = run_scenario(
+                SCENARIOS[name],
+                bench_scale,
+                seed=seed,
+                repeats=repeats,
+                warmup=warmup,
+                profile_dir=profile_dir,
+            )
+    report["meta"] = {
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "git_sha": git_short_sha(),
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report I/O, naming, comparison
+# ----------------------------------------------------------------------
+
+
+def git_short_sha(cwd: str | Path | None = None) -> str:
+    """The repository's short HEAD sha, or ``"nogit"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "nogit"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "nogit"
+
+
+def default_report_name(
+    when: datetime.date | None = None, sha: str | None = None
+) -> str:
+    """The trajectory filename: ``BENCH_<YYYYMMDD>_<shortsha>.json``."""
+    when = when if when is not None else datetime.date.today()
+    sha = sha if sha is not None else git_short_sha()
+    return f"BENCH_{when.strftime('%Y%m%d')}_{sha}.json"
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write *report* as stable (sorted-key, indented) JSON; returns *path*.
+
+    Parent directories are created as needed (the baseline lives under
+    ``benchmarks/``, which may not exist in a scratch checkout).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def logical_section(report: dict) -> str:
+    """Canonical JSON of the report's logical costs only.
+
+    This is the byte-comparable determinism surface: two runs with the same
+    seed and scale must produce identical strings (wall-clock and ``meta``
+    are excluded by construction).
+    """
+    logical = {
+        name: entry["logical"]
+        for name, entry in sorted(report.get("scenarios", {}).items())
+    }
+    return json.dumps(logical, indent=2, sort_keys=True) + "\n"
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    wall_tolerance: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Gate *current* against *baseline*; returns ``(failures, notes)``.
+
+    Logical costs must match **exactly** (any drift is a failure — page
+    reads, counters and deterministic outputs cannot change without a code
+    change explaining it).  Wall-clock is inherently noisy, so it fails
+    only when *wall_tolerance* is given and a scenario's median exceeds
+    ``baseline_median * wall_tolerance``; otherwise wall deltas are
+    reported as notes.  Scenarios present only on one side are a failure
+    (missing from current) or a note (new in current).
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if current.get("schema_version") != baseline.get("schema_version"):
+        failures.append(
+            "schema_version mismatch: current "
+            f"{current.get('schema_version')!r} vs baseline "
+            f"{baseline.get('schema_version')!r}"
+        )
+        return failures, notes
+    for key in ("scale", "seed"):
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"{key} mismatch: current {current.get(key)!r} vs baseline "
+                f"{baseline.get(key)!r} (logical costs are only comparable "
+                f"at identical {key})"
+            )
+    if failures:
+        return failures, notes
+
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    for name in sorted(base_scenarios):
+        if name not in cur_scenarios:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        base_logical = base_scenarios[name]["logical"]
+        cur_logical = cur_scenarios[name]["logical"]
+        if cur_logical != base_logical:
+            for detail in _logical_diff(base_logical, cur_logical):
+                failures.append(f"{name}: {detail}")
+        base_wall = base_scenarios[name].get("wall", {}).get("median_s")
+        cur_wall = cur_scenarios[name].get("wall", {}).get("median_s")
+        if base_wall and cur_wall:
+            ratio = cur_wall / base_wall
+            line = (
+                f"{name}: wall median {cur_wall * 1e3:.2f} ms vs baseline "
+                f"{base_wall * 1e3:.2f} ms ({ratio:.2f}x)"
+            )
+            if wall_tolerance is not None and ratio > wall_tolerance:
+                failures.append(
+                    line + f" exceeds tolerance {wall_tolerance:.2f}x"
+                )
+            else:
+                notes.append(line)
+    for name in sorted(set(cur_scenarios) - set(base_scenarios)):
+        notes.append(
+            f"{name}: new scenario, not in baseline "
+            "(run --update-baseline to record it)"
+        )
+    return failures, notes
+
+
+def _flatten(prefix: str, value: Any, out: dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    else:
+        out[prefix] = value
+
+
+def _logical_diff(base: dict, cur: dict) -> list[str]:
+    """Human-readable per-key differences between two logical sections."""
+    flat_base: dict[str, Any] = {}
+    flat_cur: dict[str, Any] = {}
+    _flatten("", base, flat_base)
+    _flatten("", cur, flat_cur)
+    details = []
+    for key in sorted(set(flat_base) | set(flat_cur)):
+        if key not in flat_cur:
+            details.append(f"logical cost {key!r} disappeared")
+        elif key not in flat_base:
+            details.append(f"new logical cost {key!r} = {flat_cur[key]!r}")
+        elif flat_base[key] != flat_cur[key]:
+            details.append(
+                f"logical cost {key!r} changed: "
+                f"{flat_base[key]!r} -> {flat_cur[key]!r}"
+            )
+    return details or ["logical section differs"]
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary table of a bench report."""
+    lines = [
+        f"bench scale={report['scale']} seed={report['seed']} "
+        f"repeats={report['repeats']} warmup={report['warmup']} "
+        f"(schema v{report['schema_version']})",
+        "",
+        f"{'scenario':<22} {'median ms':>10} {'min ms':>10} "
+        f"{'page reads':>11}  paper hook",
+    ]
+    for name, entry in report["scenarios"].items():
+        wall = entry["wall"]
+        page_reads = entry["logical"]["result"].get("page_reads") or entry[
+            "logical"
+        ]["io"].get("page_reads", 0)
+        lines.append(
+            f"{name:<22} {wall['median_s'] * 1e3:>10.2f} "
+            f"{wall['min_s'] * 1e3:>10.2f} {page_reads:>11}  {entry['paper']}"
+        )
+    return "\n".join(lines)

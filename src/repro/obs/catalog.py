@@ -169,4 +169,7 @@ SPANS: dict[str, str] = {
     "core.merge_equi_height": "One partition-histogram merge.",
     "pool.map": "One TrialPool.map fan-out (serial or process).",
     "chaos.sweep": "One chaos_sweep fault-rate sweep.",
+    "bench.run": "One `repro bench` invocation (all selected scenarios).",
+    "bench.scenario": "One benchmark scenario phase (setup, logical, "
+                      "measure, or profile).",
 }

@@ -49,6 +49,7 @@ from ..exceptions import ParameterError
 from .catalog import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricSpec
 
 __all__ = [
+    "SCHEMA_VERSION",
     "MetricsRegistry",
     "collecting",
     "enable",
@@ -62,6 +63,10 @@ __all__ = [
     "render_json",
     "equi_height_buckets",
 ]
+
+#: Version stamp of the :func:`render_json` document layout.  Bump on any
+#: breaking change to the exported structure.
+SCHEMA_VERSION = 1
 
 #: Label-set key: canonical, hashable form of a ``**labels`` mapping.
 _LabelKey = tuple[tuple[str, str], ...]
@@ -381,7 +386,8 @@ def render_text(registry: MetricsRegistry, bucket_count: int = 8) -> str:
 
 def render_json(registry: MetricsRegistry, bucket_count: int = 8) -> str:
     """JSON exposition of *registry*: deterministic ordering, no
-    timestamps, histogram buckets precomputed equi-height."""
+    timestamps, histogram buckets precomputed equi-height.  The document
+    carries a top-level ``schema_version`` (:data:`SCHEMA_VERSION`)."""
     snap = registry.snapshot()
     out = []
     for name, labels, value in snap["counters"]:
@@ -404,4 +410,11 @@ def render_json(registry: MetricsRegistry, bucket_count: int = 8) -> str:
             }
         )
     out.sort(key=lambda m: (m["name"], sorted(m["labels"].items())))
-    return json.dumps({"metrics": out}, indent=2, sort_keys=True) + "\n"
+    return (
+        json.dumps(
+            {"schema_version": SCHEMA_VERSION, "metrics": out},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

@@ -45,6 +45,7 @@ from ..exceptions import ParameterError
 from .catalog import SPANS
 
 __all__ = [
+    "SCHEMA_VERSION",
     "SpanRecord",
     "TraceRecorder",
     "span",
@@ -57,6 +58,11 @@ __all__ = [
 #: Timing keys stripped by :meth:`TraceRecorder.events` for deterministic
 #: comparison of traces.
 TIMING_KEYS = ("t_wall", "duration_s")
+
+#: Version stamp carried by every JSONL span record (JSON lines have no
+#: header, so each record is self-describing).  Bump on any breaking change
+#: to the record layout.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -74,6 +80,7 @@ class SpanRecord:
     def to_dict(self) -> dict:
         """JSON-ready plain-dict form of the record."""
         out = {
+            "schema_version": SCHEMA_VERSION,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -150,7 +157,8 @@ class TraceRecorder:
         return out
 
     def to_jsonl(self, redact_timing: bool = False) -> str:
-        """The event log as one JSON object per line."""
+        """The event log as one JSON object per line; every record carries
+        ``schema_version`` (:data:`SCHEMA_VERSION`)."""
         return "".join(
             json.dumps(event, sort_keys=True) + "\n"
             for event in self.events(redact_timing=redact_timing)

@@ -19,7 +19,9 @@ accounting on top, so cost curves stay honest under degraded builds:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..obs import metrics as _metrics
 
@@ -107,6 +109,26 @@ class IOStats:
         self.simulated_latency_s += other.simulated_latency_s
         self._touched |= other._touched
         return self
+
+    @contextmanager
+    def delta(self) -> Iterator[dict]:
+        """Capture the per-counter change across a ``with`` block.
+
+        Yields a dict that is *filled in on exit* with ``after - before``
+        for every :meth:`snapshot` counter — the bench harness uses this to
+        charge exactly one measured run's I/O to its logical-cost record,
+        and it composes with tracing (which snapshots independently).
+        ``pages_touched`` deltas count pages first touched inside the
+        block.
+        """
+        before = self.snapshot()
+        out: dict = {}
+        try:
+            yield out
+        finally:
+            after = self.snapshot()
+            for key, value in after.items():
+                out[key] = value - before[key]
 
     def snapshot(self) -> dict:
         """A plain-dict copy of the counters, for reporting."""

@@ -1,0 +1,192 @@
+"""The deterministic benchmark harness: registry, determinism, gate, profiling.
+
+Tier-1 home of the perf-observability guarantees:
+
+- the scenario registry is well-formed and fully described,
+- a bench run's **logical section** is byte-identical across runs with the
+  same seed and scale (the acceptance criterion for BENCH_*.json),
+- the comparator passes a self-compare, fails on an injected logical
+  regression, and gates wall-clock only when given a tolerance,
+- ``--profile`` writes ``.pstats`` files that ``pstats`` can load, and
+- the full registry at smoke scale still matches the checked-in
+  ``benchmarks/baseline.json`` — the in-repo perf regression gate.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import pstats
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import bench
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE = ROOT / "benchmarks" / "baseline.json"
+
+#: Cheap subset covering both heapfile-backed and in-memory scenarios.
+SUBSET = ["record_sampling", "merge_equi_height", "distinct_gee"]
+
+FAST = dict(scale="smoke", repeats=1, warmup=0)
+
+
+class TestRegistry:
+    def test_names_match_registry_keys(self):
+        names = bench.scenario_names()
+        assert names == list(bench.SCENARIOS)
+        for name in names:
+            assert bench.SCENARIOS[name].name == name
+
+    def test_every_scenario_is_described(self):
+        for scenario in bench.SCENARIOS.values():
+            assert scenario.help, f"{scenario.name} has no help text"
+            assert scenario.paper, f"{scenario.name} has no paper hook"
+
+    def test_expected_scenarios_present(self):
+        names = set(bench.scenario_names())
+        assert {
+            "record_sampling", "block_sampling", "cvb_build",
+            "merge_equi_height", "distinct_gee", "selectivity_lookup",
+            "trialpool_w1", "trialpool_w2", "trialpool_w4",
+        } <= names
+
+    def test_scales(self):
+        assert {"smoke", "default"} <= set(bench.SCALES)
+        smoke = bench.SCALES["smoke"]
+        assert smoke.n < bench.SCALES["default"].n
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ParameterError, match="unknown bench scale"):
+            bench.run_bench(scenarios=SUBSET, scale="galactic")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ParameterError, match="unknown bench scenario"):
+            bench.run_bench(scenarios=["nope"], **FAST)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ParameterError, match="repeats"):
+            bench.run_bench(scenarios=SUBSET, repeats=0, **{
+                k: v for k, v in FAST.items() if k != "repeats"
+            })
+
+
+class TestDeterminism:
+    def test_logical_section_is_byte_identical_across_runs(self):
+        first = bench.run_bench(scenarios=SUBSET, seed=3, **FAST)
+        second = bench.run_bench(scenarios=SUBSET, seed=3, **FAST)
+        assert bench.logical_section(first) == bench.logical_section(second)
+
+    def test_logical_section_ignores_repeats_and_warmup(self):
+        lean = bench.run_bench(scenarios=["merge_equi_height"], **FAST)
+        heavy = bench.run_bench(
+            scenarios=["merge_equi_height"], scale="smoke",
+            repeats=2, warmup=1,
+        )
+        assert bench.logical_section(lean) == bench.logical_section(heavy)
+
+    def test_seed_changes_the_logical_section(self):
+        a = bench.run_bench(scenarios=["record_sampling"], seed=0, **FAST)
+        b = bench.run_bench(scenarios=["record_sampling"], seed=1, **FAST)
+        assert bench.logical_section(a) != bench.logical_section(b)
+
+    def test_report_shape(self):
+        report = bench.run_bench(scenarios=SUBSET, **FAST)
+        assert report["schema_version"] == bench.BENCH_SCHEMA_VERSION
+        assert report["kind"] == "bench"
+        assert sorted(report["scenarios"]) == sorted(SUBSET)
+        for entry in report["scenarios"].values():
+            assert set(entry["logical"]) == {"result", "io", "counters"}
+            assert entry["wall"]["repeats"] == 1
+        assert set(report["meta"]) == {"generated_at", "git_sha", "python"}
+
+    def test_timing_metrics_never_enter_logical_counters(self):
+        report = bench.run_bench(scenarios=["trialpool_w2"], **FAST)
+        counters = report["scenarios"]["trialpool_w2"]["logical"]["counters"]
+        for name in bench._TIMING_METRICS:
+            assert not any(key.startswith(name) for key in counters)
+
+
+class TestComparator:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return bench.run_bench(scenarios=SUBSET, **FAST)
+
+    def test_self_compare_passes(self, report):
+        failures, _notes = bench.compare_reports(report, report)
+        assert failures == []
+
+    def test_injected_logical_regression_fails(self, report):
+        doctored = copy.deepcopy(report)
+        logical = doctored["scenarios"]["record_sampling"]["logical"]
+        logical["io"]["page_reads"] = logical["io"].get("page_reads", 0) + 7
+        failures, _notes = bench.compare_reports(report, doctored)
+        assert any(
+            "record_sampling" in f and "page_reads" in f for f in failures
+        )
+
+    def test_missing_scenario_fails_new_scenario_notes(self, report):
+        shrunk = copy.deepcopy(report)
+        del shrunk["scenarios"]["distinct_gee"]
+        failures, _ = bench.compare_reports(shrunk, report)
+        assert any("distinct_gee" in f and "missing" in f for f in failures)
+        _, notes = bench.compare_reports(report, shrunk)
+        assert any("distinct_gee" in n and "new scenario" in n for n in notes)
+
+    def test_wall_clock_is_note_without_tolerance(self, report):
+        slow = copy.deepcopy(report)
+        for entry in slow["scenarios"].values():
+            entry["wall"]["median_s"] *= 100
+        failures, notes = bench.compare_reports(slow, report)
+        assert failures == []
+        assert any("wall median" in n for n in notes)
+
+    def test_wall_tolerance_gates_when_given(self, report):
+        slow = copy.deepcopy(report)
+        for entry in slow["scenarios"].values():
+            entry["wall"]["median_s"] *= 100
+        failures, _ = bench.compare_reports(slow, report, wall_tolerance=1.5)
+        assert any("exceeds tolerance" in f for f in failures)
+        # ...and the other direction (faster than baseline) never fails.
+        failures, _ = bench.compare_reports(report, slow, wall_tolerance=1.5)
+        assert failures == []
+
+    def test_schema_or_scale_mismatch_fails_fast(self, report):
+        other = copy.deepcopy(report)
+        other["schema_version"] = 99
+        failures, _ = bench.compare_reports(report, other)
+        assert any("schema_version mismatch" in f for f in failures)
+        other = copy.deepcopy(report)
+        other["scale"] = "default"
+        failures, _ = bench.compare_reports(report, other)
+        assert any("scale mismatch" in f for f in failures)
+
+
+class TestProfiling:
+    def test_profile_writes_loadable_pstats(self, tmp_path):
+        bench.run_bench(
+            scenarios=["merge_equi_height"], profile_dir=tmp_path, **FAST
+        )
+        stats_path = tmp_path / "merge_equi_height.pstats"
+        assert stats_path.exists()
+        stats = pstats.Stats(str(stats_path))
+        assert stats.total_calls > 0
+        top = (tmp_path / "merge_equi_height_top.txt").read_text()
+        assert "cumulative" in top
+
+
+class TestBaselineGate:
+    """The checked-in baseline is the repo's perf regression gate."""
+
+    def test_full_smoke_run_matches_checked_in_baseline(self):
+        baseline = json.loads(BASELINE.read_text())
+        report = bench.run_bench(**FAST)
+        failures, _notes = bench.compare_reports(report, baseline)
+        assert failures == [], (
+            "bench logical costs drifted from benchmarks/baseline.json; "
+            "if intentional, regenerate with `python -m repro bench --scale "
+            "smoke --repeats 1 --warmup 0 --update-baseline`:\n"
+            + "\n".join(failures)
+        )

@@ -21,6 +21,7 @@ from repro.obs.catalog import METRICS, SPANS
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 DOC = ROOT / "docs" / "OBSERVABILITY.md"
+EXPERIMENTS_DOC = ROOT / "EXPERIMENTS.md"
 
 #: Exposition-format suffixes a histogram metric may legitimately appear
 #: with in prose/examples (Prometheus-style derived series).
@@ -87,6 +88,46 @@ class TestSpanTaxonomySync:
         phantom = [name for name in rows if name not in SPANS]
         assert not phantom, f"doc lists undeclared spans: {phantom}"
         assert set(rows) == set(SPANS)
+
+
+class TestBenchScenarioSync:
+    """Both bench docs catalogue exactly the registered scenarios."""
+
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        from repro.obs.bench import SCENARIOS
+
+        return SCENARIOS
+
+    @pytest.mark.parametrize("doc", [DOC, EXPERIMENTS_DOC], ids=lambda p: p.name)
+    def test_every_scenario_is_documented(self, doc, scenarios):
+        """Adding a scenario without documenting it fails here."""
+        text = doc.read_text()
+        missing = [name for name in scenarios if f"`{name}`" not in text]
+        assert not missing, f"{doc.name} missing scenarios: {missing}"
+
+    def test_no_phantom_scenarios_in_bench_table(self, scenarios):
+        """Scenario-shaped rows in the bench table are all registered."""
+        text = DOC.read_text()
+        table = text.split("## Benchmarking & profiling", 1)[1].split(
+            "### Running", 1
+        )[0]
+        rows = re.findall(r"^\| `([a-z0-9_]+)` \|", table, re.MULTILINE)
+        phantom = [name for name in rows if name not in scenarios]
+        assert not phantom, f"doc lists unregistered scenarios: {phantom}"
+        assert set(rows) == set(scenarios)
+
+    def test_baseline_matches_registered_scenarios(self, scenarios):
+        """benchmarks/baseline.json covers the full registry at version 1."""
+        import json
+
+        from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+        baseline = json.loads(
+            (ROOT / "benchmarks" / "baseline.json").read_text()
+        )
+        assert baseline["schema_version"] == BENCH_SCHEMA_VERSION
+        assert sorted(baseline["scenarios"]) == sorted(scenarios)
 
 
 class TestDocLints:

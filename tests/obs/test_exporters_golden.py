@@ -13,6 +13,7 @@ Regenerate after an intentional format change with::
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -79,6 +80,17 @@ class TestGoldenExports:
         _check_golden(
             "trace.jsonl", self.recorder.to_jsonl(redact_timing=True)
         )
+
+    def test_json_export_carries_schema_version(self):
+        document = json.loads(render_json(self.registry))
+        assert document["schema_version"] == metrics.SCHEMA_VERSION
+
+    def test_trace_records_carry_schema_version(self):
+        lines = self.recorder.to_jsonl(redact_timing=True).splitlines()
+        assert lines, "scenario produced no spans"
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema_version"] == trace.SCHEMA_VERSION
 
     def test_scenario_is_reproducible_in_process(self):
         registry, recorder = _run_scenario()

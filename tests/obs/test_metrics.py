@@ -232,4 +232,7 @@ class TestExporters:
 
     def test_empty_registry_renders_empty(self):
         assert render_text(MetricsRegistry()) == ""
-        assert json.loads(render_json(MetricsRegistry())) == {"metrics": []}
+        assert json.loads(render_json(MetricsRegistry())) == {
+            "metrics": [],
+            "schema_version": 1,
+        }

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -277,3 +279,113 @@ class TestChaos:
     def test_chaos_rate_list_parse_error(self, capsys):
         with pytest.raises(SystemExit):
             main(["chaos", "--fault-rate", "a,b"])
+
+
+class TestMetricsWrapper:
+    PLAN = ["plan", "--n", "100000", "--k", "50", "--f", "0.2"]
+
+    def test_propagates_wrapped_exit_code(self, capsys):
+        # plan with the wrong arity returns 2; the wrapper must not mask it.
+        code = main(["metrics", "plan", "--n", "1000", "--k", "10"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "exactly two of" in captured.err
+
+    def test_out_to_missing_dir_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "m.txt"
+        code = main(["metrics", "--out", str(missing)] + self.PLAN)
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_empty_registry_text_dump(self, capsys):
+        # plan is pure arithmetic: it emits no metrics, and the wrapper
+        # still succeeds with an empty dump rather than erroring.
+        code = main(["metrics"] + self.PLAN)
+        assert code == 0
+        assert capsys.readouterr().out.endswith("\n")
+
+    def test_empty_registry_json_dump(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["metrics", "--format", "json", "--out", str(out)] + self.PLAN
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["metrics"] == []
+        assert document["schema_version"] == 1
+
+
+class TestBench:
+    BENCH = [
+        "bench", "--scale", "smoke", "--repeats", "1", "--warmup", "0",
+    ]
+    SUBSET = ["--scenario", "merge_equi_height", "--scenario", "distinct_gee"]
+
+    def test_list_names_every_scenario(self, capsys):
+        from repro.obs import bench
+
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in bench.SCENARIOS:
+            assert name in out
+
+    def test_subset_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(self.BENCH + self.SUBSET + ["--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "merge_equi_height" in captured.out
+        report = json.loads(out.read_text())
+        assert report["schema_version"] == 1
+        assert sorted(report["scenarios"]) == [
+            "distinct_gee", "merge_equi_height",
+        ]
+
+    def test_compare_fails_on_doctored_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        args = self.BENCH + self.SUBSET + ["--out", str(out)]
+        assert main(args) == 0
+        baseline = json.loads(out.read_text())
+        logical = baseline["scenarios"]["merge_equi_height"]["logical"]
+        logical["result"]["page_reads"] = (
+            logical["result"].get("page_reads", 0) + 999
+        )
+        doctored = tmp_path / "baseline.json"
+        doctored.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        code = main(args + ["--compare", str(doctored)])
+        assert code == 3
+        assert "regression" in capsys.readouterr().err
+
+    def test_compare_passes_against_own_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        args = self.BENCH + self.SUBSET + ["--out", str(out)]
+        assert main(args) == 0
+        code = main(args + ["--compare", str(out)])
+        assert code == 0
+        assert "comparison passed" in capsys.readouterr().err
+
+    def test_update_baseline_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "bench.json"
+        code = main(
+            self.BENCH + self.SUBSET
+            + ["--out", str(out), "--update-baseline"]
+        )
+        assert code == 0
+        assert (tmp_path / "benchmarks" / "baseline.json").exists()
+
+    def test_rejects_bad_repeats(self, capsys):
+        assert main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
+
+    def test_rejects_bad_wall_tolerance(self, capsys):
+        assert main(["bench", "--wall-tolerance", "0"]) == 2
+        assert "--wall-tolerance" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        code = main(["bench", "--scenario", "nope", "--scale", "smoke"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

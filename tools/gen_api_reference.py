@@ -122,9 +122,14 @@ SECTIONS = [
     ),
     (
         "repro.obs — observability",
-        "Metrics registry, trace spans and exporters; see "
-        "docs/OBSERVABILITY.md for the full catalog.",
-        ["repro.obs.catalog", "repro.obs.metrics", "repro.obs.trace"],
+        "Metrics registry, trace spans, exporters and the deterministic "
+        "benchmark harness; see docs/OBSERVABILITY.md for the full catalog.",
+        [
+            "repro.obs.catalog",
+            "repro.obs.metrics",
+            "repro.obs.trace",
+            "repro.obs.bench",
+        ],
     ),
     (
         "Command line",
