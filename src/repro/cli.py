@@ -44,6 +44,13 @@ Four subcommands expose the library to shell users:
     wall-clock threshold-gated), ``--update-baseline``, or ``--profile``
     each scenario through :mod:`cProfile`.
 
+``lint``
+    Determinism & invariant static analysis (:mod:`repro.lint`): run the
+    project rule set (DET/OBS/EXC/FLT/DOC) over ``src/repro`` and the
+    Markdown docs, print a text or JSON report, and exit nonzero on any
+    unsuppressed error-severity finding — the CI gate.  Supports
+    ``--rules`` selection, ``--baseline`` diffing and ``--list-rules``.
+
 ``figure``, ``chaos`` and ``bench`` additionally accept ``--trace FILE`` to
 record a structured span trace (JSON lines) of the run; see
 docs/OBSERVABILITY.md for how to read one.
@@ -290,6 +297,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--trace", metavar="FILE",
         help="record a span trace of the run to FILE (JSON lines)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant static analysis (repro.lint)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--rules", metavar="ID", nargs="+",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules with severity and summary, then exit",
+    )
+    lint.add_argument(
+        "--root", metavar="DIR",
+        help="repo root to lint (default: this checkout)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract known findings recorded in FILE; only new "
+             "findings fail the gate",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
+    lint.add_argument(
+        "--out", metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
 
     metrics = sub.add_parser(
@@ -683,6 +724,41 @@ def _bench_run(args, bench) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from . import lint as lint_mod
+
+    if args.list_rules:
+        for rule_id in lint_mod.rule_ids():
+            rule = lint_mod.RULES[rule_id]
+            print(f"{rule_id:<8} [{rule.severity}] {rule.summary}")
+        return 0
+
+    report = lint_mod.run_lint(root=args.root, rules=args.rules)
+    if args.write_baseline:
+        lint_mod.write_baseline(report, args.write_baseline)
+        print(
+            f"lint baseline written to {args.write_baseline} "
+            f"({len(report.findings)} finding(s))",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        baseline = lint_mod.load_baseline(args.baseline)
+        report = lint_mod.apply_baseline(report, baseline)
+    rendered = (
+        lint_mod.render_json(report)
+        if args.format == "json"
+        else lint_mod.render_text(report) + "\n"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"lint report written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return 1 if report.errors else 0
+
+
 def _cmd_metrics(args) -> int:
     from .obs import metrics as obs_metrics
 
@@ -727,6 +803,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
         "metrics": _cmd_metrics,
     }
     try:

@@ -56,11 +56,18 @@ class ConvergenceError(ReproError):
 
     Carries the partially built histogram and the trace of cross-validation
     iterations so callers can inspect (or accept) the best-effort result.
+
+    All constructor arguments flow through ``Exception.args``, keeping the
+    instance picklable across process boundaries (``TrialPool`` workers
+    re-raise these in the parent process).
     """
 
     def __init__(self, message: str, result=None):
-        super().__init__(message)
+        super().__init__(message, result)
         self.result = result
+
+    def __str__(self) -> str:  # hide the result arg from the rendering
+        return str(self.args[0])
 
 
 class BuildAbortedError(ReproError):

@@ -166,9 +166,12 @@ def _run_chunk(
 
     def _loop() -> None:
         for seed in seeds:
-            start = time.perf_counter()
+            # Wall-clock observability only: durations feed TrialStats
+            # timing fields, never trial results or logical metrics.
+            start = time.perf_counter()  # repro: noqa[DET002]
             value = fn(seed)
-            out.append((value, time.perf_counter() - start))
+            elapsed = time.perf_counter() - start  # repro: noqa[DET002]
+            out.append((value, elapsed))
 
     if collect_metrics:
         with _metrics.collecting() as registry:
@@ -296,7 +299,8 @@ class TrialPool:
             else _validate_chunk_size(chunk_size)
         )
         seeds = list(seeds)
-        start = time.perf_counter()
+        # Wall-clock observability only: elapsed_s is reporting, not logic.
+        start = time.perf_counter()  # repro: noqa[DET002]
 
         use_processes = (
             workers > 1
@@ -344,10 +348,11 @@ class TrialPool:
                 num_chunks = 1
             map_span.set(mode=mode, chunks=num_chunks)
 
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: noqa[DET002]
         durations = [d for _, d in timed]
         results = [v for v, _ in timed]
-        page_reads = sum(
+        # Integer page counts: exact under any summation order.
+        page_reads = sum(  # repro: noqa[DET004]
             r.page_reads for r in results if isinstance(r, TrialRecord)
         )
         results = [
@@ -360,7 +365,7 @@ class TrialPool:
             num_chunks=num_chunks,
             mode=mode,
             elapsed_s=elapsed,
-            trial_time_total_s=float(sum(durations)),
+            trial_time_total_s=math.fsum(durations),
             trial_time_max_s=float(max(durations, default=0.0)),
             page_reads=page_reads,
         )

@@ -50,6 +50,7 @@ class Series:
     y: list = field(default_factory=list)
 
     def add(self, x, y) -> None:
+        """Append one (x, y) measurement point."""
         self.x.append(x)
         self.y.append(y)
 

@@ -198,12 +198,14 @@ class _Span:
         self._span_id = self._recorder._open(self._name)
         if self._io is not None:
             self._io_before = dict(self._io.snapshot())
-        self._t_wall = time.time()
-        self._t0 = time.perf_counter()
+        # Wall-clock observability: span timestamps/durations are trace
+        # annotations, excluded from all logical comparisons.
+        self._t_wall = time.time()  # repro: noqa[DET002]
+        self._t0 = time.perf_counter()  # repro: noqa[DET002]
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        duration = time.perf_counter() - self._t0
+        duration = time.perf_counter() - self._t0  # repro: noqa[DET002]
         io_delta = None
         if self._io is not None and self._io_before is not None:
             after = self._io.snapshot()

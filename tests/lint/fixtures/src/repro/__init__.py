@@ -1,0 +1,1 @@
+"""Fixture mini-repo for the lint-engine tests (never imported)."""

@@ -1,0 +1,14 @@
+"""DET001 fixture: global-state RNG calls (plus allowed constructions)."""
+
+import random
+
+import numpy as np
+
+np.random.seed(0)
+_GLOBAL_DRAW = np.random.random()
+_STDLIB_DRAW = random.random()
+
+# Allowed: explicit generator construction, never global state.
+_RNG = np.random.default_rng(0)
+_BITGEN = np.random.PCG64(1)
+_INSTANCE = random.Random(2)

@@ -1,0 +1,14 @@
+"""DET002 fixture: wall-clock and entropy reads in a logic path."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+_STAMP = time.time()
+_WHEN = datetime.now()
+_ENTROPY = os.urandom(8)
+_TOKEN = uuid.uuid4()
+
+# Allowed: deterministic time arithmetic, no clock consulted.
+_DELTA = 60 * 60

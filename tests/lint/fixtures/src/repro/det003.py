@@ -1,0 +1,24 @@
+"""DET003 fixture: set iteration feeding ordered output."""
+
+_NAMES = {"b", "a", "c"}
+
+
+def _loop_over_set() -> list:
+    out = []
+    for name in {"x", "y"}:
+        out.append(name)
+    return out
+
+
+def _listcomp_over_set() -> list:
+    return [name for name in set("abc")]
+
+
+def _join_over_set() -> str:
+    return ",".join({"p", "q"})
+
+
+# Allowed: order-erasing consumers.
+_SORTED = sorted({"b", "a"})
+_COUNT = len({"b", "a"})
+_SORTED_COMP = sorted(name for name in {"m", "n"})

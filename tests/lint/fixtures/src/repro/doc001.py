@@ -1,0 +1,5 @@
+import math
+
+
+def undocumented_helper(x):
+    return math.sqrt(x)

@@ -1,0 +1,29 @@
+"""EXC001 fixture: a pickle-lossy exception beside two clean ones."""
+
+
+class LossyError(Exception):
+    """Drops ``payload`` from args: pickle reconstruction loses it."""
+
+    def __init__(self, message, payload=None):
+        super().__init__(message)
+        self.payload = payload
+
+
+class FaithfulError(Exception):
+    """Forwards every constructor argument; round-trips exactly."""
+
+    def __init__(self, message, payload=None):
+        super().__init__(message, payload)
+        self.payload = payload
+
+
+class ReducedError(Exception):
+    """Opts out via __reduce__; also acceptable to EXC001."""
+
+    def __init__(self, message, payload=None):
+        super().__init__(message)
+        self.payload = payload
+
+    def __reduce__(self):
+        """Reconstruct from (message, payload)."""
+        return (type(self), (self.args[0], self.payload))

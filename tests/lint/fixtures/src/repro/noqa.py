@@ -1,0 +1,8 @@
+"""Suppression fixture: one used noqa, one justified noqa, one stale."""
+
+import time
+
+# Suppressed with justification: this finding must NOT appear.
+_T0 = time.time()  # repro: noqa[DET002] -- fixture for suppression tests
+
+_PLAIN = 1 + 1  # repro: noqa[DET001] -- stale: nothing to suppress here

@@ -1,0 +1,1 @@
+"""Fixture obs package: hosts the catalog OBS001 reads statically."""

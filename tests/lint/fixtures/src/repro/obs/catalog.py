@@ -1,0 +1,19 @@
+"""Fixture observability catalog: one declared metric, one declared span."""
+
+
+class MetricSpec:
+    """Stand-in spec; OBS001 only reads the first-argument literal."""
+
+    def __init__(self, name, kind, help):
+        self.name = name
+        self.kind = kind
+        self.help = help
+
+
+_SPECS = [
+    MetricSpec("repro_good_total", "counter", "a declared metric"),
+]
+
+SPANS: dict[str, str] = {
+    "good.span": "a declared span",
+}

@@ -1,0 +1,10 @@
+"""DET004 fixture: bare float accumulation in a metrics path."""
+
+import math
+
+_DURATIONS = [0.1, 0.2, 0.3]
+
+_NAIVE_TOTAL = sum(_DURATIONS)
+
+# Allowed: exactly-rounded, order-independent accumulation.
+_EXACT_TOTAL = math.fsum(_DURATIONS)

@@ -1,0 +1,15 @@
+"""OBS001 fixture: one undeclared metric and one undeclared span."""
+
+
+def _inc(name, value=1):
+    """Stand-in metric helper; OBS001 matches on the call shape."""
+
+
+def _record(registry, tracer):
+    registry.inc("repro_phantom_total")
+    with tracer.span("phantom.span"):
+        pass
+    # Allowed: names declared in the fixture catalog.
+    registry.inc("repro_good_total")
+    with tracer.span("good.span"):
+        pass

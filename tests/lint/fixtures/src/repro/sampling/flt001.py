@@ -1,0 +1,10 @@
+"""FLT001 fixture: a raw heap-file read in a sampling path."""
+
+
+def _draw(heapfile, page_ids):
+    return [heapfile.read_page(pid) for pid in page_ids]
+
+
+def _draw_resilient(heapfile, page_ids, read_page_resilient):
+    # Allowed: routed through the resilient wrapper.
+    return [read_page_resilient(heapfile, pid) for pid in page_ids]

@@ -1,0 +1,73 @@
+"""docs/LINTING.md is documented-by-construction: diff it vs the registry.
+
+Same stance as ``tests/obs/test_docs.py`` for the observability catalog:
+the rule catalog doc must describe exactly the registered rules — id,
+severity, summary, rationale and example fix all verbatim — and may not
+mention rule ids that do not exist.  README and docs/ARCHITECTURE.md must
+name the lint layer so the subsystem is discoverable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.lint import RULES, rule_ids
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOC = ROOT / "docs" / "LINTING.md"
+README = ROOT / "README.md"
+ARCHITECTURE = ROOT / "docs" / "ARCHITECTURE.md"
+
+_RULE_ID = re.compile(r"\b(?:DET|OBS|EXC|FLT|DOC|NOQA)\d{3}\b")
+
+
+def _doc_text() -> str:
+    return DOC.read_text()
+
+
+class TestRuleCatalogSync:
+    @pytest.mark.parametrize("rule_id", rule_ids())
+    def test_rule_has_a_detail_section(self, rule_id):
+        rule = RULES[rule_id]
+        assert f"### {rule_id} — {rule.summary}" in _doc_text(), (
+            f"{rule_id}: detail heading missing or summary drifted"
+        )
+
+    @pytest.mark.parametrize("rule_id", rule_ids())
+    def test_rule_summary_table_row(self, rule_id):
+        rule = RULES[rule_id]
+        row = f"| {rule_id} | {rule.severity} | {rule.summary} |"
+        assert row in _doc_text(), f"{rule_id}: summary table row drifted"
+
+    @pytest.mark.parametrize("rule_id", rule_ids())
+    def test_rationale_is_verbatim(self, rule_id):
+        assert RULES[rule_id].rationale in _doc_text(), (
+            f"{rule_id}: rationale in docs/LINTING.md drifted from the "
+            "registry; regenerate the section from the Rule attributes"
+        )
+
+    @pytest.mark.parametrize("rule_id", rule_ids())
+    def test_example_fix_is_verbatim(self, rule_id):
+        assert RULES[rule_id].example_fix in _doc_text(), (
+            f"{rule_id}: example fix in docs/LINTING.md drifted"
+        )
+
+    def test_no_phantom_rule_ids(self):
+        mentioned = set(_RULE_ID.findall(_doc_text()))
+        phantom = mentioned - set(rule_ids())
+        assert not phantom, f"doc mentions unregistered rules: {phantom}"
+
+
+class TestLayerIsDiscoverable:
+    def test_readme_names_the_lint_layer(self):
+        text = README.read_text()
+        assert "repro lint" in text
+        assert "LINTING.md" in text
+
+    def test_architecture_names_the_lint_layer(self):
+        text = ARCHITECTURE.read_text()
+        assert "repro.lint" in text or "repro/lint" in text
+        assert "LINTING.md" in text

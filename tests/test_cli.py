@@ -389,3 +389,63 @@ class TestBench:
         code = main(["bench", "--scenario", "nope", "--scale", "smoke"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestLint:
+    FIXTURES = str(
+        __import__("pathlib").Path(__file__).parent / "lint" / "fixtures"
+    )
+
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint OK" in capsys.readouterr().out
+
+    def test_fixture_repo_exits_one(self, capsys):
+        assert main(["lint", "--root", self.FIXTURES]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "finding(s)" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "OBS001", "EXC001", "FLT001", "DOC002"):
+            assert rule_id in out
+
+    def test_json_format_is_parseable(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "lint"
+        assert doc["counts"]["total"] == 0
+
+    def test_rules_subset_selection(self, capsys):
+        code = main(
+            ["lint", "--root", self.FIXTURES, "--rules", "DET001"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "DET002" not in out
+
+    def test_unknown_rule_is_clean_error(self, capsys):
+        assert main(["lint", "--rules", "NOPE123"]) == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        code = main(
+            ["lint", "--root", self.FIXTURES,
+             "--write-baseline", str(baseline)]
+        )
+        assert code == 0
+        assert baseline.exists()
+        code = main(
+            ["lint", "--root", self.FIXTURES, "--baseline", str(baseline)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.json"
+        code = main(["lint", "--format", "json", "--out", str(out)])
+        assert code == 0
+        assert json.loads(out.read_text())["counts"]["total"] == 0
+        assert "lint report written" in capsys.readouterr().err

@@ -93,6 +93,20 @@ class TestPicklability:
         )
         assert b.snapshot == {"skipped_pages": 5}
 
+    def test_round_trip_preserves_convergence_result(self):
+        """EXC001 regression: the partial result must survive pickling.
+
+        ``ConvergenceError.__init__`` used to drop ``result`` from
+        ``super().__init__``, so a TrialPool worker's best-effort
+        histogram silently vanished at the process boundary.
+        """
+        payload = {"buckets": [1, 2, 3], "iterations": 4}
+        exc = ConvergenceError("did not converge", result=payload)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.result == payload
+        assert clone.args == exc.args
+        assert str(clone) == "did not converge"
+
     def test_build_aborted_crosses_a_real_process_boundary(self):
         """The exact path TrialPool uses: a worker raises, the parent
         receives the same exception with its payload intact."""

@@ -1,102 +1,43 @@
 #!/usr/bin/env python
-"""Docstring-coverage lint for the public surface of src/repro.
+"""Docstring-coverage lint — thin shim over ``repro.lint`` rule DOC001.
 
-Walks every module under ``src/repro`` with :mod:`ast` (no imports, so it
-is fast and side-effect free) and requires a docstring on:
-
-- every module,
-- every public class and public method (name not starting with ``_``,
-  ``__init__`` exempt — the class docstring covers construction),
-- every public module-level function.
-
-Functions nested inside other functions are ignored.  Known-irrelevant
-names can be exempted in :data:`ALLOWLIST` as ``"relative/path.py"`` (whole
-file) or ``"relative/path.py::Qual.name"``.
-
-Exit status is the number of violations (0 = clean), so CI can gate on it:
+The original standalone checker moved into the unified static-analysis
+layer (:mod:`repro.lint.docrules`); this wrapper keeps the historical CLI
+contract for scripts and CI that still call it directly:
 
     python tools/check_docstrings.py
+
+Exit status is the number of violations (0 = clean), capped at 125.
+Exemptions are inline ``# repro: noqa[DOC001]`` comments on the offending
+line, not a central allowlist.  Prefer ``python -m repro lint`` for the
+full rule set.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-PACKAGE = ROOT / "src" / "repro"
+sys.path.insert(0, str(ROOT / "src"))
 
-#: ``path`` or ``path::qualname`` entries exempt from the docstring rule.
-ALLOWLIST: set[str] = {
-    # Dataclass-generated containers whose fields the class docstring covers.
-    "experiments/reporting.py::Series.add",
-}
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _has_docstring(node) -> bool:
-    return ast.get_docstring(node) is not None
-
-
-def _walk_functions(body, prefix: str):
-    """Yield (qualname, node) for public defs/classes in *body*, one level
-    into classes but not into function bodies."""
-    for node in body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if _is_public(node.name):
-                yield f"{prefix}{node.name}", node
-        elif isinstance(node, ast.ClassDef):
-            if _is_public(node.name):
-                yield f"{prefix}{node.name}", node
-                yield from _walk_functions(
-                    node.body, f"{prefix}{node.name}."
-                )
-
-
-def check_file(path: pathlib.Path) -> list[str]:
-    rel = path.relative_to(PACKAGE).as_posix()
-    if rel in ALLOWLIST:
-        return []
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    if not _has_docstring(tree):
-        violations.append(f"{rel}: module has no docstring")
-    for qualname, node in _walk_functions(tree.body, ""):
-        if f"{rel}::{qualname}" in ALLOWLIST:
-            continue
-        if not _has_docstring(node):
-            kind = "class" if isinstance(node, ast.ClassDef) else "function"
-            violations.append(
-                f"{rel}::{qualname}: public {kind} has no docstring "
-                f"(line {node.lineno})"
-            )
-    return violations
+from repro import lint  # noqa: E402  (path set up above)
 
 
 def main() -> int:
-    files = sorted(PACKAGE.rglob("*.py"))
-    if not files:
-        print(f"error: no python files under {PACKAGE}", file=sys.stderr)
-        return 1
-    violations = []
-    for path in files:
-        violations.extend(check_file(path))
-    for violation in violations:
-        print(violation)
-    checked = len(files)
-    if violations:
+    """Run DOC001 over the repo; print findings, return their count."""
+    report = lint.run_lint(root=ROOT, rules=["DOC001"])
+    for finding in report.findings:
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+    if report.findings:
         print(
-            f"\n{len(violations)} undocumented public name(s) across "
-            f"{checked} file(s); add docstrings or extend ALLOWLIST in "
-            f"tools/check_docstrings.py"
+            f"\n{len(report.findings)} undocumented public name(s) across "
+            f"{report.files} file(s); add docstrings or suppress inline "
+            f"with `# repro: noqa[DOC001]`"
         )
     else:
-        print(f"docstring coverage OK ({checked} files)")
-    return min(len(violations), 125)
+        print(f"docstring coverage OK ({report.files} files)")
+    return min(len(report.findings), 125)
 
 
 if __name__ == "__main__":

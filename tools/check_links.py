@@ -1,79 +1,40 @@
 #!/usr/bin/env python
-"""Relative-link checker for the repo's Markdown docs.
+"""Relative-link checker — thin shim over ``repro.lint`` rule DOC002.
 
-Extracts every inline Markdown link (``[text](target)``) from README.md and
-the files under docs/, plus the other top-level Markdown files, and verifies
-that each *relative* target resolves to an existing file or directory.
-External links (``http(s)://``, ``mailto:``) and pure in-page anchors
-(``#...``) are skipped — this is a structural check, not a crawler.
-
-Exit status is the number of broken links (0 = clean):
+The original standalone checker moved into the unified static-analysis
+layer (:mod:`repro.lint.docrules`); this wrapper keeps the historical CLI
+contract for scripts and CI that still call it directly:
 
     python tools/check_links.py
+
+Exit status is the number of broken links (0 = clean), capped at 125.
+Prefer ``python -m repro lint`` for the full rule set.
 """
 
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
-#: Markdown files whose relative links must resolve.
-DOC_FILES = [
-    "README.md",
-    "EXPERIMENTS.md",
-    "DESIGN.md",
-    "ROADMAP.md",
-]
-
-_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
-
-
-def links_in(path: pathlib.Path) -> list[str]:
-    """Inline link targets in *path*, code fences excluded."""
-    targets = []
-    in_fence = False
-    for line in path.read_text().splitlines():
-        if line.lstrip().startswith("```"):
-            in_fence = not in_fence
-            continue
-        if in_fence:
-            continue
-        targets.extend(_LINK.findall(line))
-    return targets
-
-
-def check_file(path: pathlib.Path) -> list[str]:
-    """Broken-link messages for one Markdown file."""
-    broken = []
-    for target in links_in(path):
-        if target.startswith(_SKIP_PREFIXES):
-            continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
-        if not resolved.exists():
-            broken.append(
-                f"{path.relative_to(ROOT)}: broken link -> {target}"
-            )
-    return broken
+from repro import lint  # noqa: E402  (path set up above)
 
 
 def main() -> int:
-    files = [
-        ROOT / name for name in DOC_FILES if (ROOT / name).exists()
-    ] + sorted((ROOT / "docs").glob("*.md"))
-    broken = []
-    for path in files:
-        broken.extend(check_file(path))
-    for message in broken:
-        print(message)
-    if broken:
-        print(f"\n{len(broken)} broken link(s) across {len(files)} file(s)")
+    """Run DOC002 over the doc set; print findings, return their count."""
+    report = lint.run_lint(root=ROOT, rules=["DOC002"])
+    for finding in report.findings:
+        print(f"{finding.path}: {finding.message}")
+    if report.findings:
+        print(
+            f"\n{len(report.findings)} broken link(s) across "
+            f"{report.files} file(s)"
+        )
     else:
-        print(f"links OK ({len(files)} files)")
-    return min(len(broken), 125)
+        print(f"links OK ({report.files} files)")
+    return min(len(report.findings), 125)
 
 
 if __name__ == "__main__":
