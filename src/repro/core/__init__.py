@@ -1,7 +1,7 @@
 """Core contribution: equi-height histograms, error metrics, sampling
 bounds, and the CVB adaptive block-sampling algorithm."""
 
-from . import bounds
+from . import bounds, kernels
 from .adaptive import CVBConfig, CVBIteration, CVBResult, CVBSampler, cvb_build
 from .compressed import CompressedHistogram, SingletonBucket
 from .equiwidth import EquiWidthHistogram
@@ -32,6 +32,7 @@ from .histogram import Bucket, EquiHeightHistogram, equi_height_separators
 
 __all__ = [
     "bounds",
+    "kernels",
     "CVBConfig",
     "CVBIteration",
     "CVBResult",

@@ -33,6 +33,7 @@ from ..sampling.block_sampler import BlockSampleStream
 from ..sampling.schedule import DoublingSchedule, StepSchedule
 from ..storage.faults import BudgetTracker, ReadBudget, RetryPolicy
 from ..storage.heapfile import HeapFile
+from . import kernels
 from .error_metrics import fractional_max_error, relative_deviation
 from .histogram import EquiHeightHistogram
 
@@ -585,12 +586,9 @@ def cvb_build(
 def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Merge two sorted arrays into one sorted array.
 
-    ``np.sort(kind="stable")`` on the concatenation exploits the two
-    pre-sorted runs, matching the merge step of the prototype (Section 7.1,
-    extension 2).
+    Delegates to :func:`repro.core.kernels.merge_sorted`: the scalar kernel
+    is the historical stable sort of the concatenation, the vector kernel
+    scatters both runs to their final ranks in one pass (Section 7.1,
+    extension 2 — the CVB increment merge).
     """
-    if a.size == 0:
-        return b
-    if b.size == 0:
-        return a
-    return np.sort(np.concatenate([a, b]), kind="stable")
+    return kernels.merge_sorted(a, b)

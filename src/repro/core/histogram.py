@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import EmptyDataError, ParameterError
+from . import kernels
 
 __all__ = ["Bucket", "EquiHeightHistogram", "equi_height_separators"]
 
@@ -48,8 +49,7 @@ def equi_height_separators(sorted_values: np.ndarray, k: int) -> np.ndarray:
         raise ParameterError(f"k must be positive, got {k}")
     if m == 0:
         raise EmptyDataError("cannot build a histogram over an empty value set")
-    positions = np.ceil(np.arange(1, k) * m / k).astype(np.int64)
-    positions = np.clip(positions - 1, 0, m - 1)
+    positions = kernels.equi_height_separator_positions(m, k)
     return values[positions]
 
 
@@ -142,15 +142,7 @@ class EquiHeightHistogram:
         sorted_values: np.ndarray, separators: np.ndarray
     ) -> np.ndarray:
         """Count of values equal to each separator; repeats carry zero."""
-        lo = np.searchsorted(sorted_values, separators, side="left")
-        hi = np.searchsorted(sorted_values, separators, side="right")
-        eq = (hi - lo).astype(np.int64)
-        if separators.size > 1:
-            repeat = np.concatenate(
-                ([False], separators[1:] == separators[:-1])
-            )
-            eq[repeat] = 0
-        return eq
+        return kernels.eq_counts_sorted(sorted_values, separators)
 
     # ------------------------------------------------------------------
     # Construction
@@ -164,8 +156,24 @@ class EquiHeightHistogram:
         when it is a random sample this is the approximate histogram of
         Section 3.1 (separators at sample quantiles, counts of the sample).
         """
-        values = np.sort(np.asarray(values))
-        return cls.from_sorted_values(values, k)
+        values = np.asarray(values)
+        if not kernels.vectorized():
+            return cls.from_sorted_values(np.sort(values), k)
+        # Vectorized path: ``ensure_sorted`` pays for at most one sort (and
+        # none at all when the caller's values are already ordered — the CVB
+        # accumulated sample and the ground-truth recounts always are),
+        # then the separator and counting kernels ride their sorted fast
+        # paths.  Validation order matches the scalar path (empty before k)
+        # so both raise identically on degenerate input.
+        if values.size == 0:
+            raise EmptyDataError("cannot build a histogram over an empty value set")
+        _check_finite(values)
+        sorted_values = kernels.ensure_sorted(values)
+        separators = kernels.equi_height_separators_unsorted(sorted_values, k)
+        counts, eq_counts, vmin, vmax = kernels.separator_counts(
+            sorted_values, separators
+        )
+        return cls(separators, counts, vmin, vmax, eq_counts=eq_counts)
 
     @classmethod
     def from_sorted_values(
@@ -202,19 +210,10 @@ class EquiHeightHistogram:
             raise EmptyDataError("cannot count an empty value set")
         _check_finite(values)
         separators = np.asarray(separators, dtype=np.float64)
-        k = separators.size + 1
-        counts = np.bincount(
-            np.searchsorted(separators, values, side="left"), minlength=k
+        counts, eq_counts, vmin, vmax = kernels.separator_counts(
+            values, separators
         )
-        sorted_values = np.sort(values)
-        eq_counts = cls._eq_counts_sorted(sorted_values, separators)
-        return cls(
-            separators,
-            counts,
-            float(sorted_values[0]),
-            float(sorted_values[-1]),
-            eq_counts=eq_counts,
-        )
+        return cls(separators, counts, vmin, vmax, eq_counts=eq_counts)
 
     @staticmethod
     def _count_sorted(

@@ -303,6 +303,7 @@ class FloatSumRule(Rule):
         "src/repro/obs/*.py",
         "src/repro/experiments/parallel.py",
         "src/repro/core/error_metrics.py",
+        "src/repro/core/kernels.py",
         "src/repro/distinct/metrics.py",
     )
 

@@ -558,6 +558,200 @@ _register(
 )
 
 
+# --- vectorized kernels ------------------------------------------------
+
+
+def _kernel_gather_setup(scale: BenchScale, seed: int) -> dict:
+    """Heap file plus a with-replacement page-id batch for the gather."""
+    rng = np.random.default_rng(seed + 8)
+    _, _, heapfile = _make_heapfile(scale, seed)
+    page_ids = rng.integers(0, heapfile.num_pages, size=4 * scale.block_sample)
+    return {"heapfile": heapfile, "page_ids": page_ids}
+
+
+def _kernel_gather_run(ctx: dict) -> dict:
+    """One batched multi-page read — the block-sampling access path."""
+    payload = ctx["heapfile"].read_pages(ctx["page_ids"])  # repro: noqa[FLT001]
+    return {
+        "tuples": int(payload.size),
+        "sample_sum": float(math.fsum(payload.tolist())),
+    }
+
+
+_register(
+    Scenario(
+        name="kernel_page_gather",
+        paper="ROADMAP item 2: batched page draws (gather_pages kernel)",
+        help="HeapFile.read_pages over a with-replacement page batch",
+        setup=_kernel_gather_setup,
+        run=_kernel_gather_run,
+    )
+)
+
+
+def _kernel_histogram_setup(scale: BenchScale, seed: int) -> dict:
+    """The unsorted shared column plus the bucket count."""
+    values, _ = _make_table(scale, seed)
+    return {"values": values, "k": scale.k}
+
+
+def _kernel_histogram_run(ctx: dict) -> dict:
+    """Build an equi-height histogram from unsorted values.
+
+    Under the vector kernels this is the adaptive sort-probe separator
+    extraction plus run-boundary counting; under scalar it is the
+    historical full-sort path.  Logical outputs are identical by contract.
+    """
+    from ..core.histogram import EquiHeightHistogram
+
+    hist = EquiHeightHistogram.from_values(ctx["values"], ctx["k"])
+    return {
+        "k": int(hist.k),
+        "total": int(hist.total),
+        "separator_sum": float(math.fsum(hist.separators.tolist())),
+        "eq_count_sum": int(hist.eq_counts.sum()),
+    }
+
+
+_register(
+    Scenario(
+        name="kernel_histogram_build",
+        paper="ROADMAP item 2: adaptive sort-probe separator extraction",
+        help="EquiHeightHistogram.from_values on the unsorted column",
+        setup=_kernel_histogram_setup,
+        run=_kernel_histogram_run,
+    )
+)
+
+
+def _kernel_recount_setup(scale: BenchScale, seed: int) -> dict:
+    """A sample-derived histogram plus the sorted full column to recount."""
+    from ..core.histogram import EquiHeightHistogram
+    from ..sampling.record_sampler import sample_with_replacement
+
+    values, sorted_values = _make_table(scale, seed)
+    sample = sample_with_replacement(values, scale.record_sample, rng=seed + 9)
+    return {
+        "histogram": EquiHeightHistogram.from_values(sample, scale.k),
+        "values": sorted_values,
+    }
+
+
+def _kernel_recount_run(ctx: dict) -> dict:
+    """Ground-truth recount under fixed sample separators (Figures 5/7)."""
+    recounted = ctx["histogram"].recount(ctx["values"])
+    return {
+        "total": int(recounted.total),
+        "count_checksum": int(
+            np.multiply(
+                recounted.counts, np.arange(1, recounted.k + 1)
+            ).sum()
+        ),
+        "eq_count_sum": int(recounted.eq_counts.sum()),
+    }
+
+
+_register(
+    Scenario(
+        name="kernel_recount",
+        paper="ROADMAP item 2: sort-free fixed-separator counting",
+        help="EquiHeightHistogram.recount of the full column",
+        setup=_kernel_recount_setup,
+        run=_kernel_recount_run,
+    )
+)
+
+
+def _kernel_merge_setup(scale: BenchScale, seed: int) -> dict:
+    """Two sorted runs shaped like a CVB accumulated sample + increment."""
+    values, sorted_values = _make_table(scale, seed)
+    split = values.size * 3 // 4
+    return {
+        "accumulated": sorted_values[:split],
+        "increment": np.sort(values[split:]),
+    }
+
+
+def _kernel_merge_run(ctx: dict) -> dict:
+    """One CVB-style sorted merge of increment into accumulated sample."""
+    from ..core import kernels
+
+    merged = kernels.merge_sorted(ctx["accumulated"], ctx["increment"])
+    return {
+        "size": int(merged.size),
+        "is_sorted": bool(np.all(merged[1:] >= merged[:-1])),
+        "merged_sum": float(math.fsum(merged.tolist())),
+    }
+
+
+_register(
+    Scenario(
+        name="kernel_merge_sorted",
+        paper="ROADMAP item 2 / Section 7.1 ext. 2: batched increment merge",
+        help="kernels.merge_sorted of accumulated sample and increment",
+        setup=_kernel_merge_setup,
+        run=_kernel_merge_run,
+    )
+)
+
+
+def _kernel_equivalence_setup(scale: BenchScale, seed: int) -> dict:
+    """One laid-out column; each mode gets its own heap file over it."""
+    from ..storage.layout import apply_layout
+
+    values, _ = _make_table(scale, seed)
+    laid_out = apply_layout(values, layout="random", rng=seed + 10)
+    return {"laid_out": laid_out, "scale": scale, "seed": seed + 11}
+
+
+def _kernel_equivalence_run(ctx: dict) -> dict:
+    """One CVB build per kernel mode; the logical record proves they agree.
+
+    ``identical`` entering the baseline means the scalar≡vector contract is
+    re-checked by the bench gate on every run, not only by the test suite.
+    """
+    from ..core import kernels
+    from ..core.adaptive import cvb_build
+    from ..storage.heapfile import HeapFile
+
+    scale: BenchScale = ctx["scale"]
+    outcomes = {}
+    for mode in kernels.KERNEL_MODES:
+        with kernels.use_kernels(mode):
+            heapfile = HeapFile(
+                ctx["laid_out"], blocking_factor=scale.blocking_factor
+            )
+            result = cvb_build(
+                heapfile, k=scale.k, f=0.25, rng=ctx["seed"]
+            )
+            outcomes[mode] = (result, heapfile.iostats.snapshot())
+    scalar_result, scalar_io = outcomes["scalar"]
+    vector_result, vector_io = outcomes["vector"]
+    identical = bool(
+        scalar_result.histogram == vector_result.histogram
+        and np.array_equal(scalar_result.sample, vector_result.sample)
+        and scalar_result.pages_sampled == vector_result.pages_sampled
+        and scalar_io == vector_io
+    )
+    return {
+        "identical": identical,
+        "pages_sampled": int(vector_result.pages_sampled),
+        "iterations": len(vector_result.iterations),
+        "converged": bool(vector_result.converged),
+    }
+
+
+_register(
+    Scenario(
+        name="kernel_cvb_equivalence",
+        paper="tests/kernels differential harness, gated in the baseline",
+        help="cvb_build under both REPRO_KERNELS modes, diffed bit-for-bit",
+        setup=_kernel_equivalence_setup,
+        run=_kernel_equivalence_run,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------

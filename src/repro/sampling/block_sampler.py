@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import RngLike, ensure_rng
+from ..core import kernels
 from ..exceptions import ParameterError
 from ..obs import metrics as _metrics
 from ..storage.faults import BudgetTracker, RetryPolicy, read_page_resilient
@@ -158,15 +159,34 @@ class BlockSampleStream:
         """Page ids consumed so far, in sampling order."""
         return self._order[: self._cursor].copy()
 
-    def _next_readable(self, num_blocks: int) -> list[np.ndarray]:
-        """Payloads of the next *num_blocks* readable pages.
+    def _next_readable(self, num_blocks: int) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated payloads + per-page sizes of the next readable pages.
 
         Consumes the shuffled order; unreadable pages are recorded in
         ``skipped_ids`` and replaced by further draws, so fewer than
-        *num_blocks* payloads are returned only when the order runs out.
+        *num_blocks* pages are delivered only when the order runs out.
+        ``sizes[i]`` is the tuple count of the i-th delivered page, so
+        callers can recover page boundaries from the flat payload.
         """
-        chunks: list[np.ndarray] = []
         fast_path = self._retry is None and self._budget is None
+        if (
+            fast_path
+            and kernels.vectorized()
+            and type(self._file).read_page is HeapFile.read_page
+        ):
+            # Batched fast path: without a fault policy (and without a
+            # read_page override to honour) every consumed page is
+            # delivered, so the batch is one slice of the shuffled order
+            # and one gather.
+            end = min(self._cursor + num_blocks, int(self._order.size))
+            ids = self._order[self._cursor : end].astype(np.int64)
+            self._cursor = end
+            payload = self._file.read_pages(ids)  # repro: noqa[FLT001]
+            b = self._file.blocking_factor
+            lo = ids * b
+            sizes = np.minimum(lo + b, self._file.num_records) - lo
+            return payload, sizes
+        chunks: list[np.ndarray] = []
         while len(chunks) < num_blocks and self._cursor < self._order.size:
             pid = int(self._order[self._cursor])
             self._cursor += 1
@@ -181,7 +201,10 @@ class BlockSampleStream:
                 self._skipped.append(pid)
                 continue
             chunks.append(payload)
-        return chunks
+        sizes = np.asarray([chunk.size for chunk in chunks], dtype=np.int64)
+        if not chunks:
+            return self._file.values_unaccounted()[:0], sizes
+        return np.concatenate(chunks), sizes
 
     def take(self, num_blocks: int) -> np.ndarray:
         """Values from the next *num_blocks* sampled (readable) pages.
@@ -194,12 +217,10 @@ class BlockSampleStream:
             raise ParameterError(
                 f"num_blocks must be non-negative, got {num_blocks}"
             )
-        chunks = self._next_readable(num_blocks)
+        payload, sizes = self._next_readable(num_blocks)
         _metrics.inc("repro_block_batches_total", mode="take")
-        _metrics.inc("repro_block_pages_delivered_total", len(chunks))
-        if not chunks:
-            return self._file.values_unaccounted()[:0]
-        return np.concatenate(chunks)
+        _metrics.inc("repro_block_pages_delivered_total", int(sizes.size))
+        return payload
 
     def take_one_tuple_per_block(
         self, num_blocks: int, rng: RngLike = None
@@ -214,17 +235,16 @@ class BlockSampleStream:
         Returns ``(all_tuples, one_per_block)``.
         """
         generator = ensure_rng(rng)
-        full_chunks = self._next_readable(num_blocks)
+        all_tuples, sizes = self._next_readable(num_blocks)
         _metrics.inc("repro_block_batches_total", mode="one_per_block")
-        _metrics.inc("repro_block_pages_delivered_total", len(full_chunks))
-        representatives = []
-        for payload in full_chunks:
-            if payload.size:
-                representatives.append(
-                    payload[int(generator.integers(0, payload.size))]
-                )
-        if full_chunks:
-            all_tuples = np.concatenate(full_chunks)
-        else:
-            all_tuples = self._file.values_unaccounted()[:0]
-        return all_tuples, np.asarray(representatives)
+        _metrics.inc("repro_block_pages_delivered_total", int(sizes.size))
+        if sizes.size == 0:
+            return all_tuples, np.asarray([])
+        # One uniform intra-page index per (non-empty) delivered page; the
+        # kernel draws them in page order, so the RNG stream advances
+        # exactly as the historical per-page loop did.
+        starts = np.cumsum(sizes) - sizes
+        nonempty = sizes > 0
+        draws = kernels.one_per_block_draws(generator, sizes[nonempty])
+        representatives = all_tuples[starts[nonempty] + draws]
+        return all_tuples, representatives

@@ -15,6 +15,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from .._rng import RngLike
+from ..core import kernels
 from ..exceptions import ParameterError
 from .iostats import IOStats
 from .layout import apply_layout
@@ -143,6 +144,22 @@ class HeapFile:
         """
         if len(page_ids) == 0:
             return self._values[:0]
+        if kernels.vectorized() and type(self).read_page is HeapFile.read_page:
+            # Batched fast path: one gather + one accounting call.  Gated on
+            # read_page not being overridden so fault-injecting subclasses
+            # keep their per-page semantics.
+            ids = np.asarray(page_ids, dtype=np.int64)
+            bad = (ids < 0) | (ids >= self.num_pages)
+            if bad.any():
+                first = int(ids[bad][0])
+                raise ParameterError(
+                    f"page_id {first} out of range [0, {self.num_pages})"
+                )
+            payload = kernels.gather_pages(
+                self._values, ids, self._blocking_factor
+            )
+            self.iostats.record_reads(ids)
+            return payload
         chunks = [self.read_page(int(pid)) for pid in page_ids]
         return np.concatenate(chunks)
 
@@ -162,6 +179,9 @@ class HeapFile:
 
     def scan(self) -> np.ndarray:
         """Full scan; costs one read per page, returns all values."""
+        if kernels.vectorized():
+            self.iostats.record_reads(range(self.num_pages))
+            return self._values
         for page_id in range(self.num_pages):
             self.iostats.record_read(page_id)
         return self._values

@@ -203,3 +203,57 @@ class TestFractionalMaxError:
         approx = EquiHeightHistogram.from_values(sample, 20)
         err = histogram_max_error_fraction(approx, data)
         assert 0 <= err < 0.5
+
+
+class TestCountNormalisationDtypes:
+    """Pin the `_normalise_counts` dtype contract at REPRO_SCALE extremes.
+
+    The historical blanket cast to float64 silently widened integer counts,
+    losing exactness above 2**53 — at the paper's 20 M-row scale a full-table
+    recount into few buckets sits uncomfortably close to where narrow input
+    dtypes overflow instead.  Integer inputs must now stay int64 end-to-end.
+    """
+
+    def test_int64_counts_with_sum_above_float53_stay_exact(self):
+        # The bucket values are float-exact but their sum (2**53 + 1) is
+        # not: the old float path summed to 2**53 and skewed the ideal by
+        # half a tuple.  With int64 accumulation the ideal is the exactly
+        # representable (2**53 + 1) / 3 and the deviations are exact.
+        counts = np.array([2**52, 2**52, 1], dtype=np.int64)
+        ideal = (2**53 + 1) // 3  # divides exactly
+        assert max_error(counts) == float(ideal - 1)
+
+    def test_int32_counts_at_20m_scale_do_not_overflow(self):
+        # 20 M rows in int32 buckets: sums exceed int32 range; int64
+        # accumulation must keep Delta-avg exact.
+        counts = np.full(4, 20_000_000, dtype=np.int32)
+        assert avg_error(counts) == 0.0
+        assert max_error_fraction(np.array([0, 40_000_000], np.int32)) == 1.0
+
+    def test_small_integer_results_unchanged_versus_float_path(self):
+        # Below 2**53 the int64 path must agree bit-for-bit with the old
+        # float64 widening — this is what keeps bench baselines stable.
+        counts = np.array([3, 9, 1, 7], dtype=np.int16)
+        as_float = counts.astype(np.float64)
+        assert max_error(counts) == max_error(as_float)
+        assert avg_error(counts) == avg_error(as_float)
+        assert var_error(counts) == var_error(as_float)
+        assert max_error_fraction(counts) == max_error_fraction(as_float)
+
+    def test_uint64_within_int64_range_accepted(self):
+        counts = np.array([5, 10], dtype=np.uint64)
+        assert max_error(counts) == 2.5
+
+    def test_uint64_beyond_int64_range_rejected(self):
+        counts = np.array([2**63, 1], dtype=np.uint64)
+        with pytest.raises(ParameterError, match="int64"):
+            max_error(counts)
+
+    def test_float_counts_still_accepted(self):
+        # Fractional counts are legitimate (merged / scaled histograms).
+        counts = np.array([1.5, 2.5], dtype=np.float32)
+        assert max_error(counts) == 0.5
+
+    def test_non_numeric_counts_rejected(self):
+        with pytest.raises(ParameterError, match="numeric"):
+            max_error(np.array(["a", "b"]))

@@ -1,0 +1,95 @@
+"""Shared machinery for the scalar-vs-vector differential harness.
+
+The contract under test: for every kernel pair in
+:data:`repro.core.kernels.KERNELS`, the scalar and vector implementations
+are **bit-identical** — same output arrays, same dtypes where callers
+compare them, same exceptions on degenerate input, same RNG stream
+consumption, same IOStats and obs metrics.  ``run_both`` executes a fresh
+closure under each mode; the dataset strategies generate the distributions
+the paper's experiments exercise (Zipf, Unif/Dup) plus the adversarial
+shapes the scalar path historically under-tested (near-duplicate floats,
+single-value columns, fully distinct columns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core import kernels
+
+#: Dataset families the strategies draw from; names show up in failure
+#: reprs so a shrunk counterexample says which family broke.
+DATASET_KINDS = ("zipf", "unif_dup", "near_dup", "single", "distinct")
+
+
+def make_values(kind: str, n: int, seed: int) -> np.ndarray:
+    """Materialise a deterministic dataset of *kind* with *n* values."""
+    rng = np.random.default_rng(seed)
+    if kind == "zipf":
+        return rng.zipf(1.7, size=n).astype(np.int64)
+    if kind == "unif_dup":
+        return rng.integers(0, max(1, n // 10), size=n)
+    if kind == "near_dup":
+        # A handful of float anchors, some separated by one ulp: ties land
+        # exactly on separator boundaries and adjacent separators coincide.
+        anchors = np.array(
+            [1.0, np.nextafter(1.0, 2.0), 1.5, -3.25, np.nextafter(-3.25, 0)]
+        )
+        return anchors[rng.integers(0, anchors.size, size=n)]
+    if kind == "single":
+        return np.full(n, 42.0 if seed % 2 else 7, dtype=np.float64 if seed % 2 else np.int64)
+    if kind == "distinct":
+        return rng.permutation(n).astype(np.int64) - n // 2
+    raise AssertionError(f"unknown dataset kind {kind!r}")
+
+
+@st.composite
+def datasets(draw, min_size: int = 1, max_size: int = 2_000) -> np.ndarray:
+    """A generated value column from one of :data:`DATASET_KINDS`."""
+    kind = draw(st.sampled_from(DATASET_KINDS))
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return make_values(kind, n, seed)
+
+
+@st.composite
+def sorted_pairs(draw, max_size: int = 1_500) -> tuple[np.ndarray, np.ndarray]:
+    """Two independently generated, sorted arrays (CVB merge operands)."""
+    a = np.sort(draw(datasets(min_size=0, max_size=max_size)).astype(np.float64))
+    b = np.sort(draw(datasets(min_size=0, max_size=max_size)).astype(np.float64))
+    return a, b
+
+
+def run_both(fn):
+    """Run ``fn()`` once per kernel mode; return ``{mode: result}``.
+
+    *fn* must build all of its state from scratch on each call (fresh
+    heap files, fresh generators) so the two executions differ only in
+    the kernel implementations they dispatch to.
+    """
+    results = {}
+    for mode in kernels.KERNEL_MODES:
+        with kernels.use_kernels(mode):
+            results[mode] = fn()
+    return results
+
+
+def assert_arrays_identical(a: np.ndarray, b: np.ndarray) -> None:
+    """Bit-identical array check: values (NaN-aware), shape, and dtype."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.dtype == b.dtype, f"dtype diverged: {a.dtype} vs {b.dtype}"
+    assert a.shape == b.shape, f"shape diverged: {a.shape} vs {b.shape}"
+    assert np.array_equal(a, b, equal_nan=a.dtype.kind == "f"), (
+        f"values diverged: {a!r} vs {b!r}"
+    )
+
+
+def assert_histograms_identical(h1, h2) -> None:
+    """Field-by-field histogram identity (sharper than ``==`` on failure)."""
+    assert_arrays_identical(h1.separators, h2.separators)
+    assert_arrays_identical(h1.counts, h2.counts)
+    assert_arrays_identical(h1.eq_counts, h2.eq_counts)
+    assert h1.min_value == h2.min_value
+    assert h1.max_value == h2.max_value

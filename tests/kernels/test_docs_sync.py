@@ -1,0 +1,77 @@
+"""The kernel docs are documented-by-construction: diff them vs the registry.
+
+docs/ARCHITECTURE.md's "Kernels" section and the EXPERIMENTS.md knob table
+promise to catalogue the scalar/vector pairs and the ``REPRO_KERNELS``
+switch.  These tests enforce the promise literally, the same way
+``tests/obs/test_docs.py`` pins the observability docs: a kernel pair
+cannot be registered (or renamed) without the docs following, and the docs
+cannot invent kernels the registry does not define.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.core import kernels
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+ARCHITECTURE = ROOT / "docs" / "ARCHITECTURE.md"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+
+def _kernels_section() -> str:
+    """The text of the ``## Kernels`` section of ARCHITECTURE.md."""
+    text = ARCHITECTURE.read_text()
+    assert "## Kernels" in text, "ARCHITECTURE.md lost its Kernels section"
+    return text.split("## Kernels", 1)[1].split("\n## ", 1)[0]
+
+
+class TestKernelTableSync:
+    """The ARCHITECTURE.md kernel table covers exactly the registry."""
+
+    def test_every_registered_kernel_is_documented(self):
+        """No kernel pair can be registered without a doc table row."""
+        section = _kernels_section()
+        missing = [
+            name for name in kernels.kernel_names()
+            if f"`{name}`" not in section
+        ]
+        assert not missing, f"ARCHITECTURE.md missing kernels: {missing}"
+
+    def test_no_phantom_kernels_in_table(self):
+        """Kernel-shaped rows in the doc table are all registered."""
+        section = _kernels_section()
+        rows = re.findall(r"^\| `([a-z0-9_]+)` \|", section, re.MULTILINE)
+        phantom = [name for name in rows if name not in kernels.KERNELS]
+        assert not phantom, f"doc lists unregistered kernels: {phantom}"
+        assert set(rows) == set(kernels.KERNELS)
+
+    def test_both_modes_are_documented(self):
+        """The section spells out the full mode vocabulary."""
+        section = _kernels_section()
+        for mode in kernels.KERNEL_MODES:
+            assert f"{mode}" in section
+
+
+class TestKnobDocumentation:
+    """REPRO_KERNELS and its surfaces appear in both user-facing docs."""
+
+    def test_env_var_documented_in_architecture(self):
+        assert kernels.ENV_VAR in ARCHITECTURE.read_text()
+
+    def test_env_var_documented_in_experiments(self):
+        text = EXPERIMENTS.read_text()
+        assert kernels.ENV_VAR in text
+        # The knob table must spell out the accepted values.
+        for mode in kernels.KERNEL_MODES:
+            assert mode in text
+
+    def test_cli_flag_documented_in_experiments(self):
+        """``repro bench --kernels`` is discoverable from the cookbook."""
+        assert "--kernels" in EXPERIMENTS.read_text()
+
+    def test_use_kernels_documented(self):
+        """The programmatic override has a doc trail too."""
+        assert "use_kernels" in ARCHITECTURE.read_text()
+        assert "use_kernels" in EXPERIMENTS.read_text()

@@ -1,0 +1,147 @@
+"""Fault-path differential: skip-and-redraw is mode-inert under injection.
+
+The vectorized block-sampling fast path is deliberately disabled when a
+fault policy (or a ``read_page`` override, e.g. :class:`FaultyHeapFile`) is
+in play — per-page retry/skip semantics must be preserved.  These tests
+prove the *observable* contract: with identical fault injection, scalar and
+vector modes deliver the same payloads, skip the same pages, charge the
+same retries/failed reads/latency, and build the same final histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import cvb_build
+from repro.core.histogram import EquiHeightHistogram
+from repro.obs import metrics
+from repro.sampling.block_sampler import BlockSampleStream, sample_blocks
+from repro.storage import FaultPolicy, FaultyHeapFile, HeapFile, RetryPolicy
+
+from .conftest import (
+    assert_arrays_identical,
+    assert_histograms_identical,
+    make_values,
+    run_both,
+)
+
+RETRY = RetryPolicy(max_attempts=3, seed=11)
+
+FAULTS = [
+    FaultPolicy(transient_rate=0.3, seed=5),
+    FaultPolicy(corrupt_fraction=0.2, seed=5),
+    FaultPolicy(transient_rate=0.25, corrupt_fraction=0.15, seed=9),
+]
+
+
+def _faulty(policy: FaultPolicy, seed: int = 0) -> FaultyHeapFile:
+    values = make_values("zipf", 12_000, seed)
+    inner = HeapFile.from_values(
+        values,
+        layout="random",
+        rng=np.random.default_rng(seed + 1),
+        blocking_factor=40,
+    )
+    return FaultyHeapFile(inner, policy)
+
+
+class TestStreamFaultDifferential:
+    @pytest.mark.parametrize("policy", FAULTS)
+    def test_skip_and_redraw_identical(self, policy):
+        def sample():
+            faulty = _faulty(policy)
+            stream = BlockSampleStream(
+                faulty, rng=np.random.default_rng(3), retry=RETRY
+            )
+            with metrics.collecting() as registry:
+                first = stream.take(60)
+                second = stream.take(60)
+            return (
+                first,
+                second,
+                stream.pages_skipped,
+                stream.skipped_ids,
+                stream.taken_ids,
+                faulty.iostats.snapshot(),
+                metrics.render_json(registry),
+            )
+
+        got = run_both(sample)
+        for index in (0, 1, 3, 4):
+            assert_arrays_identical(got["scalar"][index], got["vector"][index])
+        assert got["scalar"][2] == got["vector"][2]
+        assert got["scalar"][5] == got["vector"][5]
+        assert got["scalar"][6] == got["vector"][6]
+        # The injection actually fired — otherwise this proves nothing.
+        snapshot = got["vector"][5]
+        assert snapshot["failed_reads"] > 0
+        assert snapshot["retries"] > 0 or snapshot["pages_skipped"] > 0
+
+    @pytest.mark.parametrize("policy", FAULTS)
+    def test_final_histogram_identical(self, policy):
+        def build():
+            faulty = _faulty(policy)
+            stream = BlockSampleStream(
+                faulty, rng=np.random.default_rng(3), retry=RETRY
+            )
+            sample = stream.take(120)
+            return EquiHeightHistogram.from_values(sample, 20)
+
+        got = run_both(build)
+        assert_histograms_identical(got["scalar"], got["vector"])
+
+    def test_sample_blocks_resilient_identical(self):
+        def sample():
+            faulty = _faulty(FAULTS[2])
+            with metrics.collecting() as registry:
+                out = sample_blocks(faulty, 80, rng=4, retry=RETRY)
+            return out, faulty.iostats.snapshot(), metrics.render_json(registry)
+
+        got = run_both(sample)
+        assert_arrays_identical(got["scalar"][0], got["vector"][0])
+        assert got["scalar"][1:] == got["vector"][1:]
+
+    def test_faulty_file_without_retry_raises_identically(self):
+        # Without a retry policy the fast-path *type guard* (not the fault
+        # knobs) is what keeps the vector mode honest: FaultyHeapFile
+        # overrides read_page, so batched reads must not bypass injection.
+        policy = FaultPolicy(corrupt_fraction=0.5, seed=2)
+
+        def sample():
+            faulty = _faulty(policy)
+            stream = BlockSampleStream(faulty, rng=np.random.default_rng(1))
+            try:
+                stream.take(100)
+            except Exception as exc:  # noqa: BLE001 - compared across modes
+                return type(exc).__name__, faulty.iostats.snapshot()
+            return None, faulty.iostats.snapshot()
+
+        got = run_both(sample)
+        assert got["scalar"] == got["vector"]
+        assert got["vector"][0] is not None
+
+
+class TestCVBFaultDifferential:
+    @pytest.mark.parametrize("policy", FAULTS)
+    def test_cvb_under_faults_identical(self, policy):
+        def build():
+            faulty = _faulty(policy, seed=6)
+            with metrics.collecting() as registry:
+                result = cvb_build(
+                    faulty, k=24, f=0.2, rng=8, retry=RETRY
+                )
+            return result, faulty.iostats.snapshot(), metrics.render_json(registry)
+
+        got = run_both(build)
+        scalar_result, vector_result = got["scalar"][0], got["vector"][0]
+        assert_histograms_identical(
+            scalar_result.histogram, vector_result.histogram
+        )
+        assert_arrays_identical(scalar_result.sample, vector_result.sample)
+        assert scalar_result.pages_skipped == vector_result.pages_skipped
+        assert scalar_result.converged == vector_result.converged
+        assert_arrays_identical(
+            scalar_result.sampled_pages, vector_result.sampled_pages
+        )
+        assert got["scalar"][1:] == got["vector"][1:]

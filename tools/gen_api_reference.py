@@ -56,6 +56,7 @@ SECTIONS = [
         "Equi-height histograms, error metrics, Corollary 1 bounds and the "
         "cross-validation-based (CVB) adaptive build.",
         [
+            "repro.core.kernels",
             "repro.core.histogram",
             "repro.core.error_metrics",
             "repro.core.bounds",
