@@ -53,7 +53,11 @@ Four subcommands expose the library to shell users:
 
 ``figure``, ``chaos`` and ``bench`` additionally accept ``--trace FILE`` to
 record a structured span trace (JSON lines) of the run; see
-docs/OBSERVABILITY.md for how to read one.
+docs/OBSERVABILITY.md for how to read one.  They also accept
+``--checkpoint DIR`` / ``--resume`` for crash-safe resumable runs
+(:mod:`repro.durability`): completed work is journaled to
+``DIR/run.journal``, and a killed run resumed with ``--resume`` produces
+output bit-identical to an uninterrupted one.  See docs/DURABILITY.md.
 """
 
 from __future__ import annotations
@@ -199,6 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", help="also write the table to FILE"
     )
     figure.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal completed trial chunks to DIR/run.journal so a "
+             "killed run can be resumed",
+    )
+    figure.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint, splice previously journaled chunks back "
+             "instead of re-running them (bit-identical to an "
+             "uninterrupted run)",
+    )
+    figure.add_argument(
         "--trace", metavar="FILE",
         help="record a span trace of the run to FILE (JSON lines)",
     )
@@ -241,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--chunk-size", type=int, default=None)
     chaos.add_argument(
         "--out", metavar="FILE", help="also write the report to FILE"
+    )
+    chaos.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal completed trial chunks to DIR/run.journal so a "
+             "killed run can be resumed",
+    )
+    chaos.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint, splice previously journaled chunks back "
+             "instead of re-running them",
     )
     chaos.add_argument(
         "--trace", metavar="FILE",
@@ -293,6 +318,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="DIR",
         help="cProfile every scenario into DIR (<name>.pstats + "
              "<name>_top.txt)",
+    )
+    bench.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal completed scenario results to DIR/run.journal so a "
+             "killed run can be resumed",
+    )
+    bench.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint, reuse previously journaled scenario "
+             "results instead of re-measuring them",
     )
     bench.add_argument(
         "--trace", metavar="FILE",
@@ -405,10 +440,10 @@ def _cmd_analyze(args) -> int:
     )
     _print_statistics(stats, args.show_buckets)
     if args.save:
+        from .durability import atomic_write_text
         from .engine.serialization import statistics_to_json
 
-        with open(args.save, "w") as handle:
-            handle.write(statistics_to_json(stats))
+        atomic_write_text(args.save, statistics_to_json(stats))
         print(f"statistics written to {args.save}")
     return 0
 
@@ -507,6 +542,27 @@ def _maybe_tracing(trace_path: str | None, command: str):
         print(f"trace written to {trace_path}", file=sys.stderr)
 
 
+def _checkpoint_from(args):
+    """Build the :class:`RunCheckpoint` requested by --checkpoint/--resume.
+
+    Returns ``None`` when no checkpointing was requested; ``--resume``
+    without ``--checkpoint`` is a usage error surfaced by the caller.
+    """
+    if args.checkpoint is None:
+        return None
+    from .durability import RunCheckpoint
+
+    return RunCheckpoint(args.checkpoint, resume=args.resume)
+
+
+def _reject_bare_resume(args) -> bool:
+    """True (after printing the error) when --resume lacks --checkpoint."""
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return True
+    return False
+
+
 def _figure_scale(args):
     """Resolve the experiment scale, applying any CLI overrides."""
     import dataclasses
@@ -542,6 +598,8 @@ def _cmd_figure(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if _reject_bare_resume(args):
+        return 2
 
     with _maybe_tracing(args.trace, "figure"):
         return _figure_run(args)
@@ -557,6 +615,7 @@ def _figure_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        checkpoint=_checkpoint_from(args),
     )
     name = args.name
     if name == "3_4":
@@ -597,8 +656,9 @@ def _figure_run(args) -> int:
 
     print(text)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text + "\n")
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.out, text + "\n")
         print(f"series written to {args.out}", file=sys.stderr)
     return 0
 
@@ -617,6 +677,8 @@ def _cmd_chaos(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if _reject_bare_resume(args):
+        return 2
 
     with _maybe_tracing(args.trace, "chaos"):
         return _chaos_run(args)
@@ -638,12 +700,14 @@ def _chaos_run(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         max_attempts=args.max_attempts,
+        checkpoint=_checkpoint_from(args),
     )
     text = format_chaos_report(result)
     print(text)
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text + "\n")
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.out, text + "\n")
         print(f"report written to {args.out}", file=sys.stderr)
     return 0
 
@@ -667,6 +731,8 @@ def _cmd_bench(args) -> int:
             f"got {args.wall_tolerance}",
             file=sys.stderr,
         )
+        return 2
+    if _reject_bare_resume(args):
         return 2
 
     from .obs import bench
@@ -697,6 +763,8 @@ def _bench_run(args, bench) -> int:
         repeats=args.repeats,
         warmup=args.warmup,
         profile_dir=args.profile,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
         progress=lambda name: print(f"bench: {name} ...", file=sys.stderr),
     )
     print(bench.format_report(report))
@@ -761,8 +829,9 @@ def _cmd_lint(args) -> int:
         else lint_mod.render_text(report) + "\n"
     )
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(rendered)
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.out, rendered)
         print(f"lint report written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(rendered)
@@ -793,8 +862,9 @@ def _cmd_metrics(args) -> int:
         else obs_metrics.render_text(registry)
     )
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(rendered)
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.out, rendered)
         print(f"metrics written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(rendered)

@@ -1,0 +1,112 @@
+"""The one true durable-write helper: tmp file + fsync + rename.
+
+A crash halfway through ``open(path, "w").write(...)`` leaves a truncated
+artifact — a poisoned bench baseline, a half-written metrics dump, a torn
+catalog snapshot.  Every durable artifact in this repository is therefore
+written through :func:`atomic_write_bytes` (or its text/JSON wrappers):
+
+1. the payload is written to ``<name>.tmp`` *in the target directory*
+   (same filesystem, so the rename is atomic),
+2. the file is flushed and ``fsync``'d so the bytes are on disk,
+3. ``os.replace`` swaps it in — readers see either the old artifact or
+   the new one, never a prefix.
+
+The lint rule EXC002 (:mod:`repro.lint.rules`) flags ``open(path, "w")``
+in state-persisting modules precisely so writes cannot drift away from
+this helper.  Crash injection for recovery tests threads a
+:class:`repro.storage.faults.WriteFaultInjector` through *injector*: the
+torn payload genuinely reaches the tmp file, then
+:class:`repro.exceptions.SimulatedCrashError` fires *before* the rename,
+which is exactly the window a real crash would hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..obs import metrics as _metrics
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds (or exotic filesystems)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike,
+    payload: bytes,
+    *,
+    kind: str = "artifact",
+    injector=None,
+) -> Path:
+    """Durably replace *path* with *payload*; returns the final path.
+
+    *kind* labels the checkpoint metrics
+    (``repro_checkpoint_writes_total`` / ``repro_checkpoint_bytes_total``).
+    *injector* is a :class:`repro.storage.faults.WriteFaultInjector`; when
+    its policy designates this operation, only the torn payload reaches
+    the tmp file and a
+    :class:`~repro.exceptions.SimulatedCrashError` is raised before the
+    rename — the previous artifact survives untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    crash = False
+    if injector is not None:
+        payload, crash = injector.apply(payload)
+    # The sanctioned non-atomic write: this *is* the atomic helper's tmp
+    # file, promoted below by os.replace.
+    with open(tmp, "wb") as handle:  # repro: noqa[EXC002]
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if crash:
+        injector.crash(f"atomic write of {path.name}")
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    _metrics.inc("repro_checkpoint_writes_total", kind=kind)
+    _metrics.inc("repro_checkpoint_bytes_total", len(payload), kind=kind)
+    return path
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    kind: str = "artifact",
+    injector=None,
+) -> Path:
+    """UTF-8 text wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(
+        path, text.encode("utf-8"), kind=kind, injector=injector
+    )
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    obj: Any,
+    *,
+    kind: str = "artifact",
+    injector=None,
+    indent: int | None = 2,
+) -> Path:
+    """Canonical-JSON wrapper over :func:`atomic_write_bytes`.
+
+    Keys are sorted so equal payloads yield equal bytes — byte-stable
+    artifacts diff cleanly across runs.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=True) + "\n"
+    return atomic_write_text(path, text, kind=kind, injector=injector)

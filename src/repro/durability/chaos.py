@@ -1,0 +1,229 @@
+"""Process-kill chaos for the durability layer.
+
+Two harnesses close the crash-safety loop end-to-end:
+
+:func:`catalog_crash_matrix`
+    Sweeps *every* durable write operation of a scripted catalog workload
+    (puts, drops, checkpoints) as a crash point, in both ``torn`` (payload
+    cut short) and ``corrupt`` (CRC-breaking bit flip) flavors, via
+    :class:`repro.storage.faults.WriteFaultPolicy`.  After each simulated
+    death the store is reopened and the recovered state is compared
+    against the **prefix state** — the catalog contents after the last
+    script step that fully completed.  That is the last-known-good
+    contract: a crash may lose the in-flight mutation, never a committed
+    one, and reopening never raises.
+
+:func:`kill_and_resume`
+    The real thing: spawns ``python -m repro <argv> --checkpoint DIR`` as
+    a subprocess, SIGKILLs it once the run journal shows progress, then
+    re-runs with ``--resume`` to completion.  Callers diff the resumed
+    output against an uninterrupted reference run (the CI crash-resume
+    smoke job does exactly this).
+
+Both harnesses are deterministic: crash points are enumerated (not
+sampled), and the corrupting bit flip is seeded per op through the
+counter-based fault stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..engine.serialization import statistics_to_dict
+from ..exceptions import SimulatedCrashError
+from ..storage.faults import WriteFaultPolicy
+from . import journal as _journal
+from .catalog_store import CatalogStore
+
+__all__ = [
+    "CrashOutcome",
+    "catalog_crash_matrix",
+    "kill_and_resume",
+]
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """Verdict of one (crash point, flavor) cell of the matrix."""
+
+    #: Durable write operation the simulated death landed on.
+    op_index: int
+    #: ``"torn"`` (short write) or ``"corrupt"`` (CRC-breaking bit flip).
+    flavor: str
+    #: Whether the workload actually died at this op (late crash points
+    #: fall beyond the workload's op count and complete normally).
+    crashed: bool
+    #: Script steps that fully completed before the death.
+    completed_steps: int
+    #: Recovery kinds the reopen reported (``CatalogStore.recoveries``).
+    recoveries: dict
+    #: True when the reopened state equals the completed-prefix state.
+    consistent: bool
+
+
+def _state_fingerprint(catalog) -> dict:
+    """Deterministic (version, payload) fingerprint of a catalog's state."""
+    return {
+        f"{table}.{column}": (
+            catalog.version(table, column),
+            json.dumps(
+                statistics_to_dict(catalog.get(table, column)),
+                sort_keys=True,
+            ),
+        )
+        for table, column in catalog.keys()
+    }
+
+
+def _script_steps(bundles) -> list:
+    """The scripted workload the matrix sweeps: puts, checkpoints, a drop.
+
+    Covers every durable-operation shape the store has: journal appends
+    for put and drop, the snapshot write, the snapshot-to-truncation
+    window, and a second checkpoint over a journal that saw post-snapshot
+    mutations.
+    """
+    steps = [(lambda store, s=stats: store.put(s)) for stats in bundles]
+    steps.append(lambda store: store.checkpoint())
+    first = bundles[0]
+    steps.append(
+        lambda store: store.drop(first.table_name, first.column_name)
+    )
+    steps.extend(
+        (lambda store, s=stats: store.put(s)) for stats in bundles[:2]
+    )
+    steps.append(lambda store: store.checkpoint())
+    return steps
+
+
+def catalog_crash_matrix(
+    bundles,
+    root: str | os.PathLike,
+    flavors: tuple[str, ...] = ("torn", "corrupt"),
+) -> list[CrashOutcome]:
+    """Crash the scripted workload at every durable op; verify recovery.
+
+    *bundles* are :class:`~repro.engine.statistics.ColumnStatistics` with
+    distinct ``(table, column)`` identities (two or more); *root* is a
+    scratch directory receiving one subdirectory per matrix cell.  Every
+    reopen is performed fault-free — recovery itself must never raise —
+    and every outcome's ``consistent`` flag asserts the last-known-good
+    contract.  Callers (tests, docs) check ``all(o.consistent for o in
+    outcomes)``.
+    """
+    root = Path(root)
+    baseline = CatalogStore(root / "baseline", write_faults=WriteFaultPolicy())
+    steps = _script_steps(bundles)
+    prefixes = [_state_fingerprint(baseline.catalog)]
+    for step in steps:
+        step(baseline)
+        prefixes.append(_state_fingerprint(baseline.catalog))
+    total_ops = baseline._injector.ops
+
+    outcomes = []
+    for flavor in flavors:
+        for op_index in range(total_ops):
+            policy = WriteFaultPolicy(
+                crash_at_op=op_index,
+                torn_fraction=0.5 if flavor == "torn" else 1.0,
+                corrupt_tail=flavor == "corrupt",
+                seed=op_index,
+            )
+            directory = root / f"{flavor}-{op_index:03d}"
+            store = CatalogStore(directory, write_faults=policy)
+            completed = 0
+            crashed = False
+            try:
+                for step in steps:
+                    step(store)
+                    completed += 1
+            except SimulatedCrashError:
+                crashed = True
+            reopened = CatalogStore(directory)
+            outcomes.append(
+                CrashOutcome(
+                    op_index=op_index,
+                    flavor=flavor,
+                    crashed=crashed,
+                    completed_steps=completed,
+                    recoveries=dict(reopened.recoveries),
+                    consistent=(
+                        _state_fingerprint(reopened.catalog)
+                        == prefixes[completed]
+                    ),
+                )
+            )
+    return outcomes
+
+
+def _journal_records(path: Path) -> int:
+    """Complete records currently in a run journal (0 when absent)."""
+    records, _, _ = _journal.read_records(path)
+    return len(records)
+
+
+def kill_and_resume(
+    argv: list[str],
+    checkpoint_dir: str | os.PathLike,
+    *,
+    min_records: int = 2,
+    poll_s: float = 0.05,
+    max_polls: int = 2400,
+    env: dict | None = None,
+) -> tuple[int, subprocess.CompletedProcess]:
+    """SIGKILL a checkpointed CLI run mid-flight, then resume it.
+
+    Spawns ``python -m repro <argv> --checkpoint <dir>`` and polls the run
+    journal until at least *min_records* complete records exist (proving
+    the kill lands mid-run, not before the first chunk); then delivers
+    ``SIGKILL`` — no cleanup handlers run, exactly like a crash or OOM
+    kill.  A second invocation with ``--resume`` runs to completion and is
+    returned for the caller to diff against an uninterrupted reference.
+
+    Returns ``(first_run_returncode, resumed_completed_process)``; the
+    first return code is ``-SIGKILL`` when the kill landed, or the
+    process's own exit code when it finished before reaching
+    *min_records* (tiny workloads).
+    """
+    checkpoint_dir = Path(checkpoint_dir)
+    journal_path = checkpoint_dir / "run.journal"
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        *argv,
+        "--checkpoint",
+        str(checkpoint_dir),
+    ]
+    victim = subprocess.Popen(
+        command,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+    try:
+        for _ in range(max_polls):
+            if victim.poll() is not None:
+                break
+            if _journal_records(journal_path) >= min_records:
+                victim.send_signal(signal.SIGKILL)
+                break
+            time.sleep(poll_s)
+        else:
+            victim.send_signal(signal.SIGKILL)
+    finally:
+        first_code = victim.wait()
+    resumed = subprocess.run(
+        command + ["--resume"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    return first_code, resumed

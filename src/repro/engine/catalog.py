@@ -43,6 +43,23 @@ class Catalog:
         """How many times this column has been analyzed (0 = never)."""
         return self._versions.get((table_name, column_name), 0)
 
+    def restore(self, statistics: "ColumnStatistics", version: int) -> None:
+        """Install an entry at an explicit version (recovery path).
+
+        Used by :class:`repro.durability.catalog_store.CatalogStore` when
+        rebuilding from a snapshot or replaying journal records: unlike
+        :meth:`put`, the version is *set*, not incremented, so a replayed
+        record lands at exactly the version it was journaled with.
+        Records at or below the current version are ignored, which makes
+        replay idempotent when a crash left the journal un-truncated
+        after a snapshot.
+        """
+        key = (statistics.table_name, statistics.column_name)
+        if version <= self._versions.get(key, 0):
+            return
+        self._entries[key] = statistics
+        self._versions[key] = version
+
     def drop(self, table_name: str, column_name: str) -> None:
         """Remove statistics for one column (idempotent)."""
         key = (table_name, column_name)

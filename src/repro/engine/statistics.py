@@ -134,10 +134,21 @@ class ColumnStatistics:
 
 
 class StatisticsManager:
-    """Builds and caches :class:`ColumnStatistics` for a set of tables."""
+    """Builds and caches :class:`ColumnStatistics` for a set of tables.
 
-    def __init__(self, distinct_estimator: DistinctValueEstimator | None = None):
-        self.catalog = Catalog()
+    By default statistics land in a fresh in-memory
+    :class:`~repro.engine.catalog.Catalog`; pass *catalog* to plug in an
+    existing one — notably the journaling catalog of a
+    :class:`repro.durability.CatalogStore`, which makes every ``analyze``
+    durable without the engine knowing about persistence.
+    """
+
+    def __init__(
+        self,
+        distinct_estimator: DistinctValueEstimator | None = None,
+        catalog: Catalog | None = None,
+    ):
+        self.catalog = catalog if catalog is not None else Catalog()
         self._distinct_estimator = distinct_estimator or GEEEstimator()
 
     # ------------------------------------------------------------------

@@ -21,8 +21,11 @@ __all__ = [
     "UnknownLayoutError",
     "TransientIOError",
     "PageCorruptionError",
+    "SimulatedCrashError",
     "CatalogError",
     "StatisticsNotFoundError",
+    "CheckpointError",
+    "TaskQuarantinedError",
 ]
 
 
@@ -135,9 +138,68 @@ class PageCorruptionError(StorageError):
         return str(self.args[0])
 
 
+class SimulatedCrashError(StorageError):
+    """A deliberately injected crash interrupted a durable write.
+
+    Raised by :class:`repro.storage.faults.WriteFaultInjector` at the exact
+    point a real process death would occur: *after* the (possibly torn)
+    bytes hit the disk but *before* the write protocol finished (the
+    rename, the journal append, the truncation).  Recovery tests catch it,
+    reopen the store, and assert last-known-good semantics.
+
+    All constructor arguments flow through ``Exception.args``, keeping the
+    instance picklable across process boundaries.
+    """
+
+    def __init__(self, message: str, op_index: int = -1):
+        super().__init__(message, op_index)
+        self.op_index = op_index
+
+    def __str__(self) -> str:
+        return str(self.args[0])
+
+
 class CatalogError(ReproError):
     """Base class for errors raised by the engine catalog."""
 
 
 class StatisticsNotFoundError(CatalogError, KeyError):
     """Statistics were requested for a column that has not been analyzed."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory cannot serve the requested resume.
+
+    Raised when ``--resume`` points at a run journal recorded for a
+    different sweep (different seeds, trial counts, or scale): silently
+    splicing foreign results would break the bit-identical resume
+    guarantee, so the mismatch is surfaced instead.
+
+    All constructor arguments flow through ``Exception.args``, keeping the
+    instance picklable across process boundaries.
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
+class TaskQuarantinedError(ReproError):
+    """A trial chunk was quarantined after repeatedly killing its workers.
+
+    Raised by :class:`repro.experiments.parallel.TrialPool` when the same
+    chunk survives ``max_redispatch`` deterministic re-dispatches without
+    completing — the signature of a poison task (one that segfaults or
+    wedges its worker) rather than an unlucky crash.  Carries the chunk
+    index and the seeds it contained so the caller can reproduce serially.
+
+    All constructor arguments flow through ``Exception.args``, keeping the
+    instance picklable across process boundaries.
+    """
+
+    def __init__(self, message: str, chunk_index: int = -1, seeds=None):
+        super().__init__(message, chunk_index, seeds)
+        self.chunk_index = chunk_index
+        self.seeds = list(seeds) if seeds is not None else []
+
+    def __str__(self) -> str:
+        return str(self.args[0])

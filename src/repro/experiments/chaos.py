@@ -142,6 +142,7 @@ def chaos_sweep(
     chunk_size: int | None = None,
     max_attempts: int = 5,
     max_skipped_fraction: float = 0.5,
+    checkpoint=None,
 ) -> dict:
     """Sweep transient-fault rates and aggregate resilient-build quality.
 
@@ -172,7 +173,11 @@ def chaos_sweep(
     with _trace.span(
         "chaos.sweep", rates=len(fault_rates), trials=trials, n=n, k=k, f=f
     ):
-        with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+        with TrialPool(
+            max_workers=workers,
+            chunk_size=chunk_size,
+            checkpoint=checkpoint,
+        ) as pool:
             results = pool.map(_chaos_trial, tasks)
             pool_stats = pool.last_stats
 

@@ -48,6 +48,7 @@ def figures_3_and_4(
     f: float | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figures 3 & 4: sampling rate and disk blocks sampled vs table size.
 
@@ -67,7 +68,9 @@ def figures_3_and_4(
     data_seed, sweep_seed = spawn_rngs(seed, 2)
     data_seed = int(data_seed.integers(0, 2**31))
     rngs = spawn_rngs(sweep_seed, len(scale.n_sweep))
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for n, rng in zip(scale.n_sweep, rngs):
             layout_rng, search_rng = spawn_rngs(rng, 2)
             # One shared data seed: the same Zipf frequency permutation at
@@ -99,6 +102,7 @@ def figure5(
     zs: tuple[float, ...] = (0, 2, 4),
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figure 5: max error vs sampling rate for Z in {0, 2, 4}.
 
@@ -109,7 +113,9 @@ def figure5(
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
     series_list = []
     rngs = spawn_rngs(seed, len(zs))
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for z, rng in zip(zs, rngs):
             data_rng, layout_rng, sample_rng = spawn_rngs(rng, 3)
             dataset = make_dataset(f"zipf{int(z)}", scale.n, rng=data_rng)
@@ -139,6 +145,7 @@ def figure6(
     f: float | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figure 6: sampling rate required vs number of bins (max error <= f).
 
@@ -156,7 +163,9 @@ def figure6(
         dataset.values, "random", scale.blocking_factor, rng=layout_rng
     )
     rngs = spawn_rngs(rest_rng, len(scale.bins_sweep))
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for k, rng in zip(scale.bins_sweep, rngs):
             blocks = required_blocks_for_error(
                 heapfile, dataset.values, k, f,
@@ -172,6 +181,7 @@ def figure7(
     cluster_fraction: float = 0.2,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figure 7: max error vs sampling rate, random vs partially clustered.
 
@@ -184,7 +194,9 @@ def figure7(
     dataset = make_dataset("zipf2", scale.n, rng=data_rng)
     series_list = []
     layout_rngs = spawn_rngs(sweep_rng, 2)
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for layout, layout_rng in zip(("random", "partial"), layout_rngs):
             build_rng, sample_rng = spawn_rngs(layout_rng, 2)
             heapfile = build_heapfile(
@@ -217,6 +229,7 @@ def figure8(
     f: float | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figure 8: sampling required vs record size (max error <= f, Z=2).
 
@@ -234,7 +247,9 @@ def figure8(
     blocks_series = Series("Z=2", "record_size", "blocks_sampled")
     rate_series = Series("Z=2", "record_size", "row_sampling_rate")
     rngs = spawn_rngs(sweep_rng, len(scale.record_sizes))
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for record_size, rng in zip(scale.record_sizes, rngs):
             layout_rng, search_rng = spawn_rngs(rng, 2)
             b = RecordSpec(record_size=record_size).blocking_factor
@@ -275,6 +290,7 @@ def _distinct_value_sweep(
     seed: RngLike,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Shared kernel of Figures 9-12: DV estimates across sampling rates."""
     data_rng, layout_rng, sweep_rng = spawn_rngs(seed, 3)
@@ -291,7 +307,9 @@ def _distinct_value_sweep(
     err_estimate = Series("rel_error(est)", "sampling_rate", "rel_error")
 
     rate_rngs = spawn_rngs(sweep_rng, len(scale.rates))
-    with TrialPool(max_workers=workers, chunk_size=chunk_size) as pool:
+    with TrialPool(
+        max_workers=workers, chunk_size=chunk_size, checkpoint=checkpoint
+    ) as pool:
         for rate, rate_rng in zip(scale.rates, rate_rngs):
             seeds = spawn_seeds(rate_rng, scale.trials)
             num_blocks = max(1, round(rate * heapfile.num_pages))
@@ -326,6 +344,7 @@ def figure9_10(
     seed: RngLike = 0,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figures 9 (Zipf Z=2) and 10 (Unif/Dup): distinct values — real vs
     in-sample vs GEE-estimated — across sampling rates.
@@ -338,7 +357,12 @@ def figure9_10(
     """
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
     return _distinct_value_sweep(
-        dataset_name, scale, seed, workers=workers, chunk_size=chunk_size
+        dataset_name,
+        scale,
+        seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint=checkpoint,
     )
 
 
@@ -348,6 +372,7 @@ def figure11_12(
     seed: RngLike = 0,
     workers: int | None = 1,
     chunk_size: int | None = None,
+    checkpoint=None,
 ) -> dict:
     """Figures 11 (Zipf Z=2) and 12 (Unif/Dup): the rel-error metric
     ``|d - e|/n`` of the GEE estimate vs sampling rate.
@@ -358,5 +383,10 @@ def figure11_12(
     """
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
     return _distinct_value_sweep(
-        dataset_name, scale, seed, workers=workers, chunk_size=chunk_size
+        dataset_name,
+        scale,
+        seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint=checkpoint,
     )

@@ -30,11 +30,16 @@ import math
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, TaskQuarantinedError
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 
@@ -107,6 +112,7 @@ class TrialStats:
     trial_time_total_s: float
     trial_time_max_s: float
     page_reads: int
+    chunks_resumed: int = 0
 
     @property
     def trial_time_mean_s(self) -> float:
@@ -137,6 +143,7 @@ class TrialStats:
             "trial_time_total_s": self.trial_time_total_s,
             "trial_time_max_s": self.trial_time_max_s,
             "page_reads": self.page_reads,
+            "chunks_resumed": self.chunks_resumed,
         }
 
     def summary(self) -> str:
@@ -200,6 +207,24 @@ class TrialPool:
     chunk_size:
         Default trials per worker task; ``None`` picks
         ``ceil(trials / (4 * workers))`` so stragglers rebalance.
+    checkpoint:
+        Optional :class:`repro.durability.RunCheckpoint`.  Every map is
+        then journaled chunk-by-chunk (even in serial mode, so a kill at
+        any point loses at most one chunk), and chunks already journaled
+        by a previous run are spliced back instead of re-executed —
+        bit-identical to an uninterrupted run, because chunk results are
+        pure functions of ``(fn, seeds)``.
+    heartbeat_s:
+        Optional worker-liveness timeout for parallel maps: when no chunk
+        completes for this many seconds the pool is presumed wedged, its
+        workers are killed, and the incomplete chunks are re-dispatched
+        deterministically (same ``(fn, seeds)`` => same results).  Pick a
+        value comfortably above the slowest chunk's runtime.
+    max_redispatch:
+        How many times a lost chunk may be re-dispatched (after worker
+        crashes or heartbeat timeouts) before it is quarantined as a
+        poison task via
+        :class:`~repro.exceptions.TaskQuarantinedError`.
 
     The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
     created lazily on the first parallel ``map`` and reused across calls
@@ -208,10 +233,26 @@ class TrialPool:
     """
 
     def __init__(
-        self, max_workers: int | None = 1, chunk_size: int | None = None
+        self,
+        max_workers: int | None = 1,
+        chunk_size: int | None = None,
+        checkpoint=None,
+        heartbeat_s: float | None = None,
+        max_redispatch: int = 2,
     ):
         self.max_workers = resolve_workers(max_workers)
         self.chunk_size = _validate_chunk_size(chunk_size)
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ParameterError(
+                f"heartbeat_s must be positive or None, got {heartbeat_s}"
+            )
+        if max_redispatch < 0:
+            raise ParameterError(
+                f"max_redispatch must be non-negative, got {max_redispatch}"
+            )
+        self.checkpoint = checkpoint
+        self.heartbeat_s = heartbeat_s
+        self.max_redispatch = max_redispatch
         self.last_stats: TrialStats | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._executor_workers: int | None = None
@@ -270,6 +311,165 @@ class TrialPool:
         return self._executor
 
     # ------------------------------------------------------------------
+    # Resilient / checkpointed mapping
+    # ------------------------------------------------------------------
+
+    def _map_chunked(
+        self,
+        fn: Callable[[Any], Any],
+        seeds: list,
+        chunk: int | None,
+        workers: int,
+        use_processes: bool,
+    ) -> tuple[list, str, int, int, int]:
+        """Chunk-at-a-time map with checkpointing and lost-worker recovery.
+
+        Used whenever a checkpoint or heartbeat is configured.  Chunks
+        journaled by a previous run splice straight back; the rest run
+        (in parallel when *use_processes*) and are journaled as they
+        complete.  Because every chunk's result is a pure function of
+        ``(fn, seeds)``, the reassembled output is bit-identical to the
+        plain path for any interruption/resume pattern.
+
+        Returns ``(timed, mode, chunk_size, num_chunks, chunks_resumed)``.
+        """
+        from ..durability import runjournal as _runjournal
+
+        if chunk is None:
+            divisor = 4 * workers if use_processes else 4
+            chunk = max(1, math.ceil(len(seeds) / divisor)) if seeds else 1
+        plan = None
+        if self.checkpoint is not None:
+            num_chunks = math.ceil(len(seeds) / chunk) if seeds else 0
+            plan = self.checkpoint.begin_map(
+                _runjournal.seeds_key(seeds), chunk, num_chunks
+            )
+            chunk = plan.chunk_size
+        chunks = [seeds[i : i + chunk] for i in range(0, len(seeds), chunk)]
+        timed_by_chunk: dict[int, list] = {}
+        if plan is not None:
+            for index in sorted(plan.completed):
+                if index < len(chunks):
+                    timed_by_chunk[index] = plan.completed[index]
+        resumed = len(timed_by_chunk)
+        pending = {
+            index: chunks[index]
+            for index in range(len(chunks))
+            if index not in timed_by_chunk
+        }
+        if use_processes:
+            self._run_pending_parallel(fn, chunks, pending, timed_by_chunk, plan, workers)
+            mode = "process"
+        else:
+            for index in sorted(pending):
+                chunk_timed, _ = _run_chunk(fn, pending[index])
+                timed_by_chunk[index] = chunk_timed
+                if plan is not None:
+                    plan.record(index, chunk_timed)
+            mode = "serial"
+        timed = [
+            item
+            for index in range(len(chunks))
+            for item in timed_by_chunk[index]
+        ]
+        return timed, mode, chunk, len(chunks), resumed
+
+    def _run_pending_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: list,
+        pending: dict[int, list],
+        timed_by_chunk: dict[int, list],
+        plan,
+        workers: int,
+    ) -> None:
+        """Drive *pending* chunks to completion across worker losses.
+
+        Each round submits every pending chunk, then waits with the
+        configured heartbeat.  A broken pool or an expired heartbeat
+        kills the workers and re-dispatches what is left — deterministic,
+        since re-running a chunk reproduces its results exactly.  A chunk
+        that outlives ``max_redispatch`` re-dispatches is quarantined.
+        """
+        dispatches = {index: 0 for index in pending}
+        while pending:
+            poison = [
+                index
+                for index in sorted(pending)
+                if dispatches[index] >= 1 + self.max_redispatch
+            ]
+            if poison:
+                index = poison[0]
+                if plan is not None:
+                    plan.quarantine(index, "workers lost repeatedly")
+                _metrics.inc(
+                    "repro_pool_tasks_quarantined_total", len(poison)
+                )
+                raise TaskQuarantinedError(
+                    f"chunk {index} lost its workers {dispatches[index]} "
+                    f"time(s); quarantined as a poison task after "
+                    f"{self.max_redispatch} re-dispatch(es)",
+                    chunk_index=index,
+                    seeds=chunks[index],
+                )
+            collect = _metrics.enabled()
+            executor = self._get_executor(workers)
+            futures = {}
+            for index in sorted(pending):
+                dispatches[index] += 1
+                futures[
+                    executor.submit(_run_chunk, fn, pending[index], collect)
+                ] = index
+            not_done = set(futures)
+            reason = None
+            try:
+                while not_done:
+                    done, not_done = wait(
+                        not_done,
+                        timeout=self.heartbeat_s,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        # Heartbeat expired with zero progress: presume
+                        # the workers are wedged or gone.
+                        reason = "timeout"
+                        break
+                    for future in done:
+                        index = futures[future]
+                        chunk_timed, chunk_metrics = future.result()
+                        timed_by_chunk[index] = chunk_timed
+                        del pending[index]
+                        if plan is not None:
+                            plan.record(index, chunk_timed)
+                        if chunk_metrics is not None and _metrics.enabled():
+                            _metrics.active_registry().merge_snapshot(
+                                chunk_metrics
+                            )
+            except BrokenExecutor:
+                # A worker died (SIGKILL, segfault): every in-flight
+                # future fails with BrokenProcessPool.
+                reason = "crash"
+            except BaseException:
+                # A trial raised, or the user hit Ctrl-C: surface it
+                # (the legacy-path semantics), don't re-dispatch.
+                for future in futures:
+                    future.cancel()
+                self._terminate()
+                raise
+            if not pending:
+                return
+            if reason is None:
+                continue
+            for future in futures:
+                future.cancel()
+            self._terminate()
+            _metrics.inc(
+                "repro_pool_chunks_redispatched_total",
+                len(pending),
+                reason=reason,
+            )
+
+    # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
 
@@ -307,9 +507,17 @@ class TrialPool:
             and len(seeds) > 1
             and _is_picklable((fn, seeds))
         )
+        resilient = self.checkpoint is not None or (
+            use_processes and self.heartbeat_s is not None
+        )
         map_span = _trace.span("pool.map", trials=len(seeds))
+        resumed = 0
         with map_span:
-            if use_processes:
+            if resilient:
+                timed, mode, chunk, num_chunks, resumed = self._map_chunked(
+                    fn, seeds, chunk, workers, use_processes
+                )
+            elif use_processes:
                 if chunk is None:
                     chunk = max(1, math.ceil(len(seeds) / (4 * workers)))
                 chunks = [
@@ -368,6 +576,7 @@ class TrialPool:
             trial_time_total_s=math.fsum(durations),
             trial_time_max_s=float(max(durations, default=0.0)),
             page_reads=page_reads,
+            chunks_resumed=resumed,
         )
         _metrics.inc("repro_pool_maps_total", mode=mode)
         _metrics.inc("repro_pool_trials_total", len(seeds))

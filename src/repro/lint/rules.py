@@ -12,6 +12,11 @@ Each rule protects an invariant a prior PR established dynamically:
 - ``EXC001`` — exceptions crossing ``TrialPool`` process boundaries
   (PR 1) must survive ``pickle`` round-trips, which means every
   constructor argument has to land in ``Exception.args``.
+- ``EXC002``/``EXC003`` — crash safety (PR 7): modules that persist
+  durable artifacts must route writes through the atomic helper, and no
+  code path may swallow a broad exception silently — a silent handler
+  would eat the injected :class:`~repro.exceptions.SimulatedCrashError`
+  the chaos matrix relies on.
 - ``FLT001`` — sampling/CVB paths must route page/record reads through
   the resilient wrappers (PR 2) so fault injection stays exhaustive.
 
@@ -36,6 +41,8 @@ __all__ = [
     "FloatSumRule",
     "ObsCatalogRule",
     "PicklableExceptionRule",
+    "AtomicWriteRule",
+    "SilentExceptRule",
     "ResilientReadRule",
     "UnusedSuppressionRule",
 ]
@@ -464,6 +471,141 @@ class PicklableExceptionRule(Rule):
                     f"argument(s) {missing} from super().__init__; "
                     "pickle reconstructs via type(exc)(*exc.args)",
                 )
+
+
+@register
+class AtomicWriteRule(Rule):
+    """EXC002 — durable artifacts go through the atomic write helper."""
+
+    id = "EXC002"
+    severity = "error"
+    summary = "non-atomic write in a module that persists durable artifacts"
+    rationale = (
+        "A crash between open(path, 'w') and close leaves a truncated "
+        "artifact behind the same name as the good version, so recovery "
+        "(PR 7) cannot tell damage from data. Modules that persist "
+        "durable artifacts must write through repro.durability.atomic, "
+        "whose tmp + fsync + rename protocol makes the previous complete "
+        "version the worst case. Journal appends (mode 'a'/'ab') are the "
+        "one sanctioned in-place protocol and stay exempt."
+    )
+    example_fix = (
+        "`open(path, 'w').write(text)` -> `atomic_write_text(path, text)`"
+    )
+    paths = (
+        "src/repro/cli.py",
+        "src/repro/obs/bench.py",
+        "src/repro/obs/trace.py",
+        "src/repro/engine/serialization.py",
+        "src/repro/durability/*.py",
+    )
+
+    #: ``open`` modes that truncate or create the target in place.
+    _WRITE_MODES = frozenset(
+        {"w", "wt", "tw", "w+", "+w", "wb", "bw", "wb+", "w+b", "+wb",
+         "x", "xt", "xb", "x+", "xb+"}
+    )
+    _WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag write-mode ``open()`` and ``Path.write_*`` calls."""
+        table = ImportTable(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._WRITE_METHODS
+            ):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f".{func.attr}() writes the artifact in place; use "
+                    "repro.durability.atomic_write_text/_bytes",
+                )
+                continue
+            name = dotted_name(func)
+            if name is None or table.resolve(name) != "open":
+                continue
+            mode = self._mode_of(node)
+            if mode in self._WRITE_MODES:
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"open(..., {mode!r}) writes a durable artifact in "
+                    "place; route it through repro.durability.atomic "
+                    "(journal appends use mode 'a'/'ab' and are exempt)",
+                )
+
+    @staticmethod
+    def _mode_of(node: ast.Call) -> str | None:
+        """The literal mode string of an ``open`` call, if present."""
+        mode: ast.AST | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+
+@register
+class SilentExceptRule(Rule):
+    """EXC003 — no broad except handler may swallow errors silently."""
+
+    id = "EXC003"
+    severity = "error"
+    summary = "broad except handler that silently swallows the exception"
+    rationale = (
+        "The chaos harness (PR 7) proves recovery by raising "
+        "SimulatedCrashError at injected crash points; a bare `except:` "
+        "or `except Exception: pass` eats that signal (and every real "
+        "bug) without a trace, turning a crash-safety proof into a "
+        "vacuous pass. Broad handlers must do something observable — "
+        "re-raise, return a sentinel, or record the failure."
+    )
+    example_fix = (
+        "`except Exception: pass` -> `except OSError: return None` "
+        "(catch the specific error, and act on it)"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag broad handlers whose body is only ``pass``/``...``."""
+        table = ImportTable(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type, table):
+                continue
+            if all(self._is_silent(stmt) for stmt in node.body):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    "broad except with an empty body swallows every "
+                    "error, including injected crash signals; narrow "
+                    "the type or handle the failure observably",
+                )
+
+    def _is_broad(self, node: ast.AST | None, table: ImportTable) -> bool:
+        if node is None:  # a bare `except:` catches BaseException
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(el, table) for el in node.elts)
+        name = dotted_name(node)
+        return name is not None and table.resolve(name) in self._BROAD
+
+    @staticmethod
+    def _is_silent(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
 
 
 @register

@@ -7,8 +7,9 @@ for the reproduction itself: a registry of named **scenarios** covering
 every hot path the cost story runs through (record sampling, block
 sampling, the CVB build, histogram merging, distinct estimation,
 selectivity lookup, :class:`~repro.experiments.parallel.TrialPool`
-scaling at 1/2/4 workers, and a full :mod:`repro.lint` static-analysis
-sweep), each measured two ways:
+scaling at 1/2/4 workers, a full :mod:`repro.lint` static-analysis
+sweep, and the :mod:`repro.durability` machinery — catalog
+checkpoint/recovery and resumable map splicing), each measured two ways:
 
 - **logical costs** — pages read (via
   :class:`~repro.storage.iostats.IOStats`), counters from the
@@ -48,6 +49,7 @@ from __future__ import annotations
 
 import cProfile
 import datetime
+import io
 import json
 import math
 import os
@@ -92,6 +94,12 @@ BENCH_SCHEMA_VERSION = 1
 #: Histogram metrics whose observations are wall-clock measurements; they
 #: are excluded from the deterministic logical section.
 _TIMING_METRICS = frozenset({"repro_pool_trial_seconds"})
+
+#: Counter metrics whose values are serialization byte sizes (pickle
+#: protocol, platform path lengths) and therefore vary across Python
+#: versions; excluded from the logical section so the baseline gate stays
+#: portable across the CI matrix.
+_NONPORTABLE_METRICS = frozenset({"repro_checkpoint_bytes_total"})
 
 
 # ----------------------------------------------------------------------
@@ -752,6 +760,149 @@ _register(
 )
 
 
+# --- durability --------------------------------------------------------
+
+
+def _durability_catalog_setup(scale: BenchScale, seed: int) -> dict:
+    """A handful of statistics bundles plus a scratch directory tree."""
+    import dataclasses
+    import tempfile
+
+    from ..engine import StatisticsManager, Table
+
+    values, _ = _make_table(scale, seed)
+    table = Table("bench", {"value": values[:4000]})
+    base = StatisticsManager().analyze(
+        table,
+        "value",
+        k=10,
+        f=0.25,
+        method="record",
+        record_sample_size=200,
+        rng=seed + 12,
+    )
+    bundles = [
+        dataclasses.replace(base, column_name=f"c{i}") for i in range(4)
+    ]
+    root = tempfile.mkdtemp(prefix="repro-bench-durability-")
+    return {"bundles": bundles, "root": root, "runs": 0}
+
+
+def _durability_catalog_run(ctx: dict) -> dict:
+    """Put/checkpoint/put/reopen cycle — the durable-catalog hot path.
+
+    Each run uses a fresh subdirectory so the journal and snapshot are
+    built from scratch every time; the reopen at the end replays the
+    post-checkpoint tail, proving recovery inside the measured kernel.
+    """
+    from ..durability import CatalogStore
+
+    directory = Path(ctx["root"]) / f"run{ctx['runs']}"
+    ctx["runs"] += 1
+    store = CatalogStore(directory)
+    for stats in ctx["bundles"]:
+        store.put(stats)
+    store.checkpoint()
+    for stats in ctx["bundles"][:2]:
+        store.put(stats)
+    reopened = CatalogStore(directory)
+    catalog = reopened.catalog
+    version_sum = sum(  # repro: noqa[DET004]
+        catalog.version(table, column) for table, column in catalog.keys()
+    )
+    recoveries = sum(  # repro: noqa[DET004]
+        reopened.recoveries.values()
+    )
+    return {
+        "entries": len(catalog),
+        "replayed": reopened.replayed,
+        "version_sum": version_sum,
+        "recoveries": recoveries,
+    }
+
+
+def _durability_teardown(ctx: dict) -> None:
+    """Remove the scenario's scratch directory tree."""
+    import shutil
+
+    shutil.rmtree(ctx["root"], ignore_errors=True)
+
+
+_register(
+    Scenario(
+        name="durability_catalog",
+        paper="Crash-safe catalog (PR 7): snapshot+journal persistence cost",
+        help="CatalogStore put/checkpoint/reopen cycle with journal replay",
+        setup=_durability_catalog_setup,
+        run=_durability_catalog_run,
+        teardown=_durability_teardown,
+    )
+)
+
+
+def _durability_trial(seed: int) -> float:
+    """Tiny deterministic trial kernel for the resume scenario."""
+    draws = np.random.default_rng(seed).standard_normal(64)
+    return float(math.fsum(draws.tolist()))
+
+
+def _durability_resume_setup(scale: BenchScale, seed: int) -> dict:
+    """Per-trial seeds plus a scratch directory for the run journals."""
+    import tempfile
+
+    from .._rng import spawn_seeds
+
+    root = tempfile.mkdtemp(prefix="repro-bench-resume-")
+    return {
+        "root": root,
+        "seeds": spawn_seeds(seed + 13, scale.pool_trials),
+        "runs": 0,
+    }
+
+
+def _durability_resume_run(ctx: dict) -> dict:
+    """A checkpointed map followed by a full resume of the same map.
+
+    ``identical`` entering the baseline means the resume-equals-rerun
+    contract is re-checked by the bench gate on every run; the resumed
+    map splices every chunk from the journal without re-executing.
+    """
+    from ..durability import RunCheckpoint
+    from ..experiments.parallel import TrialPool
+
+    directory = Path(ctx["root"]) / f"run{ctx['runs']}"
+    ctx["runs"] += 1
+    with TrialPool(
+        max_workers=1, chunk_size=2, checkpoint=RunCheckpoint(directory)
+    ) as pool:
+        first = pool.map(_durability_trial, ctx["seeds"])
+    with TrialPool(
+        max_workers=1,
+        chunk_size=2,
+        checkpoint=RunCheckpoint(directory, resume=True),
+    ) as resumed_pool:
+        second = resumed_pool.map(_durability_trial, ctx["seeds"])
+    stats = resumed_pool.last_stats
+    return {
+        "trials": stats.trials,
+        "chunks": stats.num_chunks,
+        "resumed_chunks": stats.chunks_resumed,
+        "identical": first == second,
+    }
+
+
+_register(
+    Scenario(
+        name="durability_resume_map",
+        paper="Resumable sweeps (PR 7): journal splice vs re-execution",
+        help="checkpointed TrialPool map, then a bit-identical full resume",
+        setup=_durability_resume_setup,
+        run=_durability_resume_run,
+        teardown=_durability_teardown,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -775,6 +926,8 @@ def _registry_logical(registry: _metrics.MetricsRegistry) -> dict:
         return f"{name}{{{inner}}}"
 
     for name, labels, value in snap["counters"]:
+        if name in _NONPORTABLE_METRICS:
+            continue
         out[_series(name, labels)] = value
     for name, labels, value in snap["gauges"]:
         out[_series(name, labels)] = value
@@ -796,13 +949,16 @@ def write_profile(
     hottest functions by cumulative time, for reading without a pstats
     viewer.
     """
+    from ..durability import atomic_write_text
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     stats_path = directory / f"{name}.pstats"
     profiler.dump_stats(stats_path)
-    with open(directory / f"{name}_top.txt", "w") as handle:
-        stats = pstats.Stats(str(stats_path), stream=handle)
-        stats.sort_stats("cumulative").print_stats(top)
+    buffer = io.StringIO()
+    stats = pstats.Stats(str(stats_path), stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    atomic_write_text(directory / f"{name}_top.txt", buffer.getvalue())
     return stats_path
 
 
@@ -895,6 +1051,62 @@ def run_scenario(
             scenario.teardown(ctx)
 
 
+def _open_bench_checkpoint(
+    checkpoint_dir: str | Path | None,
+    resume: bool,
+    bench_scale: BenchScale,
+    seed: int,
+    repeats: int,
+    warmup: int,
+) -> tuple[Path | None, dict[str, dict]]:
+    """Open (or resume) the bench run journal.
+
+    Returns ``(journal_path, completed)``: the journal to append scenario
+    entries to (``None`` when checkpointing is off) and the entries a
+    previous run already completed.  The journal's first record pins the
+    run parameters; resuming under different ones would splice foreign
+    measurements, so a mismatch raises
+    :class:`~repro.exceptions.CheckpointError`.
+    """
+    if checkpoint_dir is None:
+        return None, {}
+    from ..durability import journal as _journal
+    from ..exceptions import CheckpointError
+
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal_path = directory / "run.journal"
+    header = {
+        "op": "bench",
+        "scale": bench_scale.name,
+        "seed": seed,
+        "repeats": repeats,
+        "warmup": warmup,
+    }
+    completed: dict[str, dict] = {}
+    if resume:
+        records, clean_bytes, tail = _journal.read_records(journal_path)
+        if tail is not None:
+            # The kill landed mid-append; that scenario never completed.
+            _journal.truncate_to(journal_path, clean_bytes)
+        if records and records[0] != header:
+            raise CheckpointError(
+                f"bench checkpoint mismatch: journal was written by "
+                f"{records[0]!r}, this run is {header!r} — resume with "
+                "identical --scale/--seed/--repeats/--warmup"
+            )
+        for record in records[1:]:
+            if record.get("op") == "scenario":
+                completed[record["name"]] = record["entry"]
+        if not records:
+            _journal.append_record(journal_path, header, kind="run_journal")
+    else:
+        if journal_path.exists():
+            _journal.truncate_to(journal_path, 0)
+        _journal.append_record(journal_path, header, kind="run_journal")
+    return journal_path, completed
+
+
 def run_bench(
     scenarios: list[str] | None = None,
     scale: str | BenchScale | None = None,
@@ -902,6 +1114,8 @@ def run_bench(
     repeats: int = 3,
     warmup: int = 1,
     profile_dir: str | Path | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Run *scenarios* (default: the whole registry) and build a report.
@@ -910,6 +1124,12 @@ def run_bench(
     parameters, one entry per scenario (see :func:`run_scenario`), and a
     ``meta`` block (timestamp, git sha, python version) that is excluded
     from every determinism comparison.
+
+    With *checkpoint_dir*, every completed scenario entry is journaled to
+    ``<dir>/run.journal``; with *resume* additionally set, journaled
+    entries from a previous (killed) run are reused instead of
+    re-measured.  Logical sections are deterministic either way; only the
+    reused entries' wall-clock numbers come from the earlier run.
     """
     bench_scale = _get_scale(scale)
     names = scenario_names() if scenarios is None else list(scenarios)
@@ -919,6 +1139,9 @@ def run_bench(
             f"unknown bench scenario(s) {unknown}; "
             f"choose from {scenario_names()}"
         )
+    journal_path, completed = _open_bench_checkpoint(
+        checkpoint_dir, resume, bench_scale, seed, repeats, warmup
+    )
     report: dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "bench",
@@ -930,9 +1153,12 @@ def run_bench(
     }
     with _trace.span("bench.run", scale=bench_scale.name, scenarios=len(names)):
         for name in names:
+            if name in completed:
+                report["scenarios"][name] = completed[name]
+                continue
             if progress is not None:
                 progress(name)
-            report["scenarios"][name] = run_scenario(
+            entry = run_scenario(
                 SCENARIOS[name],
                 bench_scale,
                 seed=seed,
@@ -940,6 +1166,15 @@ def run_bench(
                 warmup=warmup,
                 profile_dir=profile_dir,
             )
+            report["scenarios"][name] = entry
+            if journal_path is not None:
+                from ..durability import journal as _journal
+
+                _journal.append_record(
+                    journal_path,
+                    {"op": "scenario", "name": name, "entry": entry},
+                    kind="run_journal",
+                )
     # Report provenance only: "meta" is excluded from logical comparison.
     now_utc = datetime.datetime.now(  # repro: noqa[DET002]
         datetime.timezone.utc
@@ -985,15 +1220,16 @@ def default_report_name(
 
 
 def write_report(report: dict, path: str | Path) -> Path:
-    """Write *report* as stable (sorted-key, indented) JSON; returns *path*.
+    """Durably write *report* as stable (sorted-key, indented) JSON.
 
     Parent directories are created as needed (the baseline lives under
-    ``benchmarks/``, which may not exist in a scratch checkout).
+    ``benchmarks/``, which may not exist in a scratch checkout).  The
+    write goes through :func:`repro.durability.atomic_write_json`, so a
+    crash mid-write can never leave a truncated baseline behind.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return path
+    from ..durability import atomic_write_json
+
+    return atomic_write_json(Path(path), report)
 
 
 def logical_section(report: dict) -> str:

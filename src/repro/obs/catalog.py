@@ -63,8 +63,8 @@ _SPECS = [
     ),
     MetricSpec(
         "repro_fault_events_total", COUNTER, ("kind",),
-        "Faults injected by FaultyHeapFile, by kind "
-        "(kind=transient|corrupt).",
+        "Faults injected by FaultyHeapFile or WriteFaultInjector, by kind "
+        "(kind=transient|corrupt|write).",
     ),
     MetricSpec(
         "repro_resilient_reads_total", COUNTER, ("outcome",),
@@ -151,6 +151,43 @@ _SPECS = [
         "Process-pool lifecycle events "
         "(event=started|stopped|terminated).",
     ),
+    MetricSpec(
+        "repro_pool_chunks_redispatched_total", COUNTER, ("reason",),
+        "Chunks deterministically re-dispatched after worker loss "
+        "(reason=crash|timeout).",
+    ),
+    MetricSpec(
+        "repro_pool_chunks_resumed_total", COUNTER, (),
+        "Chunks spliced back from a run-journal checkpoint instead of "
+        "re-executing.",
+    ),
+    MetricSpec(
+        "repro_pool_tasks_quarantined_total", COUNTER, (),
+        "Chunks quarantined as poison tasks after exhausting their "
+        "re-dispatch budget.",
+    ),
+    # ------------------------------------------------------------------
+    # durability — crash-safe persistence and recovery
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_checkpoint_writes_total", COUNTER, ("kind",),
+        "Durable write operations, by artifact kind "
+        "(kind=snapshot|journal|run_journal|artifact).",
+    ),
+    MetricSpec(
+        "repro_checkpoint_bytes_total", COUNTER, ("kind",),
+        "Bytes persisted by durable write operations, by artifact kind "
+        "(kind=snapshot|journal|run_journal|artifact).",
+    ),
+    MetricSpec(
+        "repro_catalog_recoveries_total", COUNTER, ("kind",),
+        "CatalogStore crash artifacts recovered on open (kind="
+        "torn_snapshot|corrupt_snapshot|torn_journal|corrupt_journal).",
+    ),
+    MetricSpec(
+        "repro_journal_replays_total", COUNTER, (),
+        "Catalog journal records replayed into memory on store open.",
+    ),
 ]
 
 #: Every metric the library may emit, keyed by name.
@@ -172,4 +209,8 @@ SPANS: dict[str, str] = {
     "bench.run": "One `repro bench` invocation (all selected scenarios).",
     "bench.scenario": "One benchmark scenario phase (setup, logical, "
                       "measure, or profile).",
+    "durability.checkpoint": "One catalog checkpoint (atomic snapshot "
+                             "write plus journal truncation).",
+    "durability.recover": "One CatalogStore open (snapshot load plus "
+                          "journal replay and tail repair).",
 }

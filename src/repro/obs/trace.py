@@ -165,9 +165,12 @@ class TraceRecorder:
         )
 
     def write(self, path: str, redact_timing: bool = False) -> None:
-        """Write the event log to *path* as JSON lines."""
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl(redact_timing=redact_timing))
+        """Durably write the event log to *path* as JSON lines."""
+        # Imported lazily: repro.durability itself emits through repro.obs,
+        # so a module-level import here would cycle.
+        from ..durability import atomic_write_text
+
+        atomic_write_text(path, self.to_jsonl(redact_timing=redact_timing))
 
 
 class _Span:

@@ -25,7 +25,13 @@ from .._rng import RngLike, ensure_rng
 from ..core import kernels
 from ..exceptions import ParameterError
 from ..obs import metrics as _metrics
-from ..storage.faults import BudgetTracker, RetryPolicy, read_page_resilient
+from ..storage.faults import (
+    BudgetTracker,
+    RetryPolicy,
+    _batched_fault_path,
+    read_page_resilient,
+    read_pages_resilient,
+)
 from ..storage.heapfile import HeapFile
 
 __all__ = ["sample_block_ids", "sample_blocks", "BlockSampleStream"]
@@ -73,6 +79,14 @@ def sample_blocks(
     if retry is None and budget is None:
         # Fast path: no fault policy configured, nothing to route around.
         return heapfile.read_pages(page_ids)  # repro: noqa[FLT001]
+    if kernels.vectorized() and _batched_fault_path(heapfile):
+        # Batched skip-and-redraw: page outcomes are fixed without
+        # transient retries, so one resilient batch call resolves every
+        # id with bit-identical accounting to the scalar loop.
+        payload, _, _ = read_pages_resilient(
+            heapfile, page_ids, retry=retry, budget=budget
+        )
+        return payload
     chunks = [
         payload
         for pid in page_ids
@@ -186,6 +200,42 @@ class BlockSampleStream:
             lo = ids * b
             sizes = np.minimum(lo + b, self._file.num_records) - lo
             return payload, sizes
+        if not fast_path and kernels.vectorized() and _batched_fault_path(
+            self._file
+        ):
+            # Batched skip-and-redraw (the PR 6 scalar-only hole): page
+            # outcomes are fixed when no transient retries are in play,
+            # so each window of the shuffled order resolves in one
+            # batched resilient read; skipped pages are recorded and
+            # replaced by extending the window, exactly like the scalar
+            # loop below — same payloads, skips, accounting and budget
+            # abort points.
+            chunks = []
+            sizes_parts = []
+            delivered = 0
+            while delivered < num_blocks and self._cursor < self._order.size:
+                end = min(
+                    self._cursor + (num_blocks - delivered),
+                    int(self._order.size),
+                )
+                window = self._order[self._cursor : end].astype(np.int64)
+                self._cursor = end
+                payload, delivered_ids, skipped = read_pages_resilient(
+                    self._file, window, retry=self._retry, budget=self._budget
+                )
+                self._skipped.extend(skipped)
+                if delivered_ids.size:
+                    b = self._file.blocking_factor
+                    lo = delivered_ids * b
+                    sizes_parts.append(
+                        np.minimum(lo + b, self._file.num_records) - lo
+                    )
+                    chunks.append(payload)
+                    delivered += int(delivered_ids.size)
+            if not chunks:
+                empty = np.asarray([], dtype=np.int64)
+                return self._file.values_unaccounted()[:0], empty
+            return np.concatenate(chunks), np.concatenate(sizes_parts)
         chunks: list[np.ndarray] = []
         while len(chunks) < num_blocks and self._cursor < self._order.size:
             pid = int(self._order[self._cursor])

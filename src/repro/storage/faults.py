@@ -37,11 +37,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._rng import RngLike, spawn_seeds
+from ..core import kernels
 from ..obs import metrics as _metrics
 from ..exceptions import (
     BuildAbortedError,
     PageCorruptionError,
     ParameterError,
+    SimulatedCrashError,
     TransientIOError,
 )
 from .heapfile import HeapFile
@@ -53,7 +55,10 @@ __all__ = [
     "RetryPolicy",
     "ReadBudget",
     "BudgetTracker",
+    "WriteFaultPolicy",
+    "WriteFaultInjector",
     "read_page_resilient",
+    "read_pages_resilient",
     "read_record_resilient",
     "resilient_scan",
 ]
@@ -63,6 +68,7 @@ __all__ = [
 _STREAM_CORRUPT = 1
 _STREAM_TRANSIENT = 2
 _STREAM_JITTER = 3
+_STREAM_WRITE = 4
 
 
 def _hashed_uniform(entropy: tuple[int, ...]) -> float:
@@ -453,6 +459,108 @@ class BudgetTracker:
             self._abort(f"simulated time over {self.max_simulated_s:.4g}s")
 
 
+@dataclass(frozen=True)
+class WriteFaultPolicy:
+    """Deterministic crash injection for durable-state writes.
+
+    The durability layer (:mod:`repro.durability`) counts every *durable
+    operation* it performs — each atomic snapshot write, each journal
+    append, each journal truncation — and consults this policy through a
+    :class:`WriteFaultInjector` before completing it.  On the designated
+    operation the injector simulates a process death mid-write: only a
+    prefix of the payload reaches disk (``torn_fraction``), optionally
+    with one bit-flipped byte (``corrupt_tail``), and the caller raises
+    :class:`~repro.exceptions.SimulatedCrashError` *instead of finishing
+    the protocol* — the rename never happens, the truncation never
+    happens.  Recovery tests then reopen the store and assert
+    last-known-good semantics.
+
+    Parameters
+    ----------
+    crash_at_op:
+        0-based index of the durable operation to die on; ``None`` never
+        crashes.
+    torn_fraction:
+        Fraction of the payload bytes that reach disk before the crash
+        (``1.0`` = the payload is complete but the protocol is not).
+    corrupt_tail:
+        Flip one deterministically chosen byte of the torn payload,
+        modelling a sector scribble; the choice derives from ``seed``.
+    seed:
+        Root of the byte-choice stream.
+    """
+
+    crash_at_op: int | None = None
+    torn_fraction: float = 1.0
+    corrupt_tail: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.crash_at_op is not None and self.crash_at_op < 0:
+            raise ParameterError(
+                f"crash_at_op must be non-negative or None, got {self.crash_at_op}"
+            )
+        if not 0.0 <= self.torn_fraction <= 1.0:
+            raise ParameterError(
+                f"torn_fraction must be in [0, 1], got {self.torn_fraction}"
+            )
+        if self.seed < 0:
+            raise ParameterError(f"seed must be non-negative, got {self.seed}")
+
+    def injector(self) -> "WriteFaultInjector":
+        """A fresh stateful injector (one per store open)."""
+        return WriteFaultInjector(self)
+
+
+class WriteFaultInjector:
+    """Mutable op counter applying a :class:`WriteFaultPolicy`.
+
+    Durable-write call sites use the two-phase protocol::
+
+        payload, crash = injector.apply(payload)
+        ...persist payload, flush, fsync...
+        if crash:
+            raise SimulatedCrashError(...)
+
+    so the torn bytes genuinely hit the disk before the simulated death,
+    exactly like a real crash between ``write()`` and the protocol's
+    completing step.
+    """
+
+    def __init__(self, policy: WriteFaultPolicy):
+        self.policy = policy
+        self.ops = 0
+
+    def apply(self, payload: bytes) -> tuple[bytes, bool]:
+        """Mangle *payload* if this op is the crash point.
+
+        Returns ``(bytes_to_persist, crash)``; the caller must raise
+        :class:`~repro.exceptions.SimulatedCrashError` after persisting
+        when *crash* is true.
+        """
+        op = self.ops
+        self.ops += 1
+        policy = self.policy
+        if policy.crash_at_op is None or op != policy.crash_at_op:
+            return payload, False
+        keep = int(len(payload) * policy.torn_fraction)
+        mangled = bytearray(payload[:keep])
+        if policy.corrupt_tail and mangled:
+            pos = int(
+                _hashed_uniform((policy.seed, _STREAM_WRITE, op)) * len(mangled)
+            )
+            mangled[pos] ^= 0xFF
+        _metrics.inc("repro_fault_events_total", kind="write")
+        return bytes(mangled), True
+
+    def crash(self, what: str) -> None:
+        """Raise the simulated death for the op just applied."""
+        raise SimulatedCrashError(
+            f"simulated crash during {what} (op {self.ops - 1})",
+            op_index=self.ops - 1,
+        )
+
+
 def read_page_resilient(
     heapfile: HeapFile,
     page_id: int,
@@ -499,6 +607,136 @@ def read_page_resilient(
         budget.charge_skip()
     _metrics.inc("repro_resilient_reads_total", outcome="skipped")
     return None
+
+
+def _batched_fault_path(heapfile: HeapFile) -> bool:
+    """Can :func:`read_pages_resilient` batch reads on *heapfile*?
+
+    True for plain heap files (no fault injection at all) and for
+    :class:`FaultyHeapFile` without transient faults.  Transient faults
+    draw per ``(page, attempt)``, and the retry loop's observable side
+    effects (backoff charges, retry counts) are inherently sequential, so
+    that configuration stays on the scalar path.
+    """
+    if type(heapfile).read_page is HeapFile.read_page:
+        return True
+    return (
+        type(heapfile) is FaultyHeapFile
+        and heapfile.policy.transient_rate == 0.0
+    )
+
+
+def read_pages_resilient(
+    heapfile: HeapFile,
+    page_ids,
+    retry: RetryPolicy | None = None,
+    budget: BudgetTracker | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Batched twin of :func:`read_page_resilient`.
+
+    Reads *page_ids* in order and returns ``(payload, delivered_ids,
+    skipped_ids)``: the concatenated values of every readable page, the
+    ids actually delivered (in input order), and the ids permanently
+    skipped.  Counter totals, metrics, budget charges and their ordering —
+    including the exact page at which a budget abort raises
+    :class:`~repro.exceptions.BuildAbortedError` — are bit-identical to
+    calling :func:`read_page_resilient` once per id.
+
+    When :func:`_batched_fault_path` holds, runs of clean pages between
+    corrupt ones are gathered with one vectorized call; otherwise (per-
+    attempt transient faults) the loop simply delegates to the scalar
+    function.
+    """
+    ids = np.asarray(page_ids, dtype=np.int64)
+    if ids.size == 0:
+        return heapfile.values_unaccounted()[:0], ids, []
+    if type(heapfile).read_page is HeapFile.read_page:
+        # Fault-free file: nothing can fail, one batched gather suffices.
+        payload = heapfile.read_pages(ids)
+        _metrics.inc(
+            "repro_resilient_reads_total", int(ids.size), outcome="delivered"
+        )
+        return payload, ids, []
+    if not (
+        type(heapfile) is FaultyHeapFile
+        and heapfile.policy.transient_rate == 0.0
+    ):
+        # Transient faults (or an unknown subclass): scalar semantics only.
+        chunks = []
+        delivered = []
+        skipped: list[int] = []
+        for pid in ids.tolist():
+            payload = read_page_resilient(
+                heapfile, pid, retry=retry, budget=budget
+            )
+            if payload is None:
+                skipped.append(pid)
+            else:
+                chunks.append(payload)
+                delivered.append(pid)
+        if chunks:
+            flat = np.concatenate(chunks)
+        else:
+            flat = heapfile.values_unaccounted()[:0]
+        return flat, np.asarray(delivered, dtype=np.int64), skipped
+
+    # FaultyHeapFile with corruption only: page outcomes are fixed by the
+    # policy's corrupt set, so runs of clean pages batch into one gather.
+    policy = heapfile.policy
+    corrupt = heapfile._corrupt
+    values = heapfile.values_unaccounted()
+    chunks = []
+    delivered = []
+    skipped = []
+
+    def _flush(run: list[int]) -> None:
+        # One clean run: same per-page accounting as the scalar path
+        # (attempt counts, latency, read counters, delivered metric), in
+        # one batched call each.  Clean deliveries never charge the
+        # budget, so intra-run ordering is unobservable.
+        if not run:
+            return
+        arr = np.asarray(run, dtype=np.int64)
+        for pid in run:
+            heapfile._attempts[pid] = heapfile._attempts.get(pid, 0) + 1
+        if policy.read_latency_s:
+            heapfile.iostats.record_latency(policy.read_latency_s * len(run))
+        chunks.append(kernels.gather_pages(values, arr, heapfile.blocking_factor))
+        heapfile.iostats.record_reads(arr)
+        _metrics.inc(
+            "repro_resilient_reads_total", len(run), outcome="delivered"
+        )
+        delivered.extend(run)
+
+    run: list[int] = []
+    for pid in ids.tolist():
+        if pid not in corrupt:
+            run.append(pid)
+            continue
+        _flush(run)
+        run = []
+        # Mirror FaultyHeapFile.read_page on a corrupt page...
+        heapfile._attempts[pid] = heapfile._attempts.get(pid, 0) + 1
+        if policy.read_latency_s:
+            heapfile.iostats.record_latency(policy.read_latency_s)
+        heapfile.iostats.record_failed_read(pid)
+        _metrics.inc("repro_fault_events_total", kind="corrupt")
+        # ...then read_page_resilient's corruption branch, charge order
+        # included (a budget abort must raise at the same point).
+        if budget is not None:
+            budget.charge_failure()
+        heapfile.iostats.record_skip(pid)
+        if budget is not None:
+            budget.charge_skip()
+        _metrics.inc("repro_resilient_reads_total", outcome="skipped")
+        skipped.append(pid)
+    _flush(run)
+
+    if chunks:
+        flat = np.concatenate(chunks)
+    else:
+        flat = values[:0]
+    return flat, np.asarray(delivered, dtype=np.int64), skipped
 
 
 def read_record_resilient(

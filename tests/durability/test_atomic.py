@@ -1,0 +1,90 @@
+"""The atomic write helper: rename semantics and injected crashes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability import atomic_write_bytes, atomic_write_json, atomic_write_text
+from repro.exceptions import SimulatedCrashError
+from repro.obs import metrics
+from repro.storage.faults import WriteFaultPolicy
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a.bin", b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_text_round_trip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a.txt", "héllo\n")
+        assert path.read_text() == "héllo\n"
+
+    def test_json_is_canonical_and_newline_terminated(self, tmp_path):
+        path = atomic_write_json(tmp_path / "a.json", {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 2, "b": 1}
+        # Equal payloads produce equal bytes (sorted keys).
+        other = atomic_write_json(tmp_path / "b.json", {"a": 2, "b": 1})
+        assert other.read_bytes() == path.read_bytes()
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = atomic_write_text(tmp_path / "deep" / "er" / "a.txt", "x")
+        assert path.read_text() == "x"
+
+    def test_replaces_existing_artifact(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_metrics_count_writes_and_bytes(self, tmp_path):
+        with metrics.collecting() as registry:
+            atomic_write_bytes(tmp_path / "a.bin", b"12345", kind="snapshot")
+        counters = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in registry.snapshot()["counters"]
+        }
+        key = ("kind", "snapshot")
+        assert counters[("repro_checkpoint_writes_total", (key,))] == 1
+        assert counters[("repro_checkpoint_bytes_total", (key,))] == 5
+
+
+class TestCrashInjection:
+    def test_crash_preserves_previous_version(self, tmp_path):
+        target = tmp_path / "a.json"
+        atomic_write_json(target, {"v": 1})
+        before = target.read_bytes()
+        injector = WriteFaultPolicy(crash_at_op=0, torn_fraction=0.5).injector()
+        with pytest.raises(SimulatedCrashError):
+            atomic_write_json(target, {"v": 2}, injector=injector)
+        # The rename never happened: readers still see the old artifact,
+        # and the torn payload is stranded in the tmp file.
+        assert target.read_bytes() == before
+        tmp = target.with_name(target.name + ".tmp")
+        assert tmp.exists()
+        assert len(tmp.read_bytes()) < len(json.dumps({"v": 2}, indent=2))
+
+    def test_crash_with_full_payload_still_skips_rename(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "old")
+        injector = WriteFaultPolicy(crash_at_op=0, torn_fraction=1.0).injector()
+        with pytest.raises(SimulatedCrashError):
+            atomic_write_text(target, "new", injector=injector)
+        assert target.read_text() == "old"
+
+    def test_later_crash_op_lets_earlier_writes_through(self, tmp_path):
+        injector = WriteFaultPolicy(crash_at_op=2).injector()
+        atomic_write_text(tmp_path / "a.txt", "a", injector=injector)
+        atomic_write_text(tmp_path / "b.txt", "b", injector=injector)
+        with pytest.raises(SimulatedCrashError):
+            atomic_write_text(tmp_path / "c.txt", "c", injector=injector)
+        assert (tmp_path / "a.txt").read_text() == "a"
+        assert (tmp_path / "b.txt").read_text() == "b"
+        assert not (tmp_path / "c.txt").exists()

@@ -1,0 +1,104 @@
+"""CRC-framed journal: framing, tail damage detection, truncating repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import append_record, read_records
+from repro.durability.journal import encode_record, truncate_to
+from repro.exceptions import SimulatedCrashError
+from repro.storage.faults import WriteFaultPolicy
+
+
+class TestFraming:
+    def test_append_read_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        records = [{"seq": 1, "op": "put"}, {"seq": 2, "x": [1.5, None]}]
+        for record in records:
+            append_record(path, record)
+        got, clean_bytes, tail = read_records(path)
+        assert got == records
+        assert tail is None
+        assert clean_bytes == path.stat().st_size
+
+    def test_missing_file_reads_empty_and_clean(self, tmp_path):
+        assert read_records(tmp_path / "absent") == ([], 0, None)
+
+    def test_frame_is_single_line_ascii_prefixed(self):
+        frame = encode_record({"a": 1})
+        assert frame.startswith(b"J1 ")
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+
+    def test_frames_are_canonical(self):
+        # Sorted keys and compact separators: equal records, equal bytes.
+        assert encode_record({"a": 1, "b": 2}) == encode_record({"b": 2, "a": 1})
+        # JSON escapes control characters, so bodies stay single-line.
+        assert encode_record({"a": "line\nbreak"}).count(b"\n") == 1
+
+
+class TestTailDamage:
+    def _journal(self, tmp_path):
+        path = tmp_path / "j"
+        for seq in range(3):
+            append_record(path, {"seq": seq})
+        return path
+
+    def test_torn_tail_detected_and_prefix_kept(self, tmp_path):
+        path = self._journal(tmp_path)
+        clean = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"J1 00000000 5 {\"se")  # no newline: torn
+        records, clean_bytes, tail = read_records(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert (clean_bytes, tail) == (clean, "torn")
+
+    def test_corrupt_line_detected(self, tmp_path):
+        path = self._journal(tmp_path)
+        clean = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"J1 deadbeef 6 {\"x\":1}\n")  # CRC cannot match
+        records, clean_bytes, tail = read_records(path)
+        assert len(records) == 3
+        assert (clean_bytes, tail) == (clean, "corrupt")
+
+    def test_bit_flip_inside_good_frame_detected(self, tmp_path):
+        path = self._journal(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip one byte inside the *second* record's JSON body.
+        first_len = len(encode_record({"seq": 0}))
+        data[first_len + len(b"J1 00000000 9 ")] ^= 0x40
+        path.write_bytes(bytes(data))
+        records, clean_bytes, tail = read_records(path)
+        assert [r["seq"] for r in records] == [0]
+        assert clean_bytes == first_len
+        assert tail == "corrupt"
+
+    def test_truncate_to_repairs_the_journal(self, tmp_path):
+        path = self._journal(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage")
+        records, clean_bytes, tail = read_records(path)
+        assert tail is not None
+        truncate_to(path, clean_bytes)
+        records, clean_bytes2, tail2 = read_records(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert (clean_bytes2, tail2) == (clean_bytes, None)
+        # Appends continue cleanly after the repair.
+        append_record(path, {"seq": 3})
+        assert [r["seq"] for r in read_records(path)[0]] == [0, 1, 2, 3]
+
+
+class TestCrashInjection:
+    def test_crashing_append_leaves_recoverable_torn_frame(self, tmp_path):
+        path = tmp_path / "j"
+        append_record(path, {"seq": 1})
+        injector = WriteFaultPolicy(crash_at_op=0, torn_fraction=0.4).injector()
+        with pytest.raises(SimulatedCrashError):
+            append_record(path, {"seq": 2}, injector=injector)
+        records, clean_bytes, tail = read_records(path)
+        assert [r["seq"] for r in records] == [1]
+        assert tail == "torn"
+        truncate_to(path, clean_bytes)
+        append_record(path, {"seq": 2})
+        assert [r["seq"] for r in read_records(path)[0]] == [1, 2]

@@ -15,9 +15,11 @@ import pytest
 
 from repro.core.adaptive import cvb_build
 from repro.core.histogram import EquiHeightHistogram
+from repro.exceptions import BuildAbortedError
 from repro.obs import metrics
 from repro.sampling.block_sampler import BlockSampleStream, sample_blocks
 from repro.storage import FaultPolicy, FaultyHeapFile, HeapFile, RetryPolicy
+from repro.storage.faults import ReadBudget
 
 from .conftest import (
     assert_arrays_identical,
@@ -32,6 +34,9 @@ FAULTS = [
     FaultPolicy(transient_rate=0.3, seed=5),
     FaultPolicy(corrupt_fraction=0.2, seed=5),
     FaultPolicy(transient_rate=0.25, corrupt_fraction=0.15, seed=9),
+    # Majority-corrupt: most draws hit the skip-and-redraw path, so the
+    # vectorized redraw loop is exercised far past its common case.
+    FaultPolicy(corrupt_fraction=0.6, seed=3),
 ]
 
 
@@ -120,6 +125,77 @@ class TestStreamFaultDifferential:
         got = run_both(sample)
         assert got["scalar"] == got["vector"]
         assert got["vector"][0] is not None
+
+
+class TestResilientBoundaryDifferential:
+    def test_healthy_file_with_retry_and_budget_identical(self):
+        # retry/budget on a plain (fault-free) HeapFile: the resilient
+        # slow path must produce exactly the fast path's sample and spend
+        # nothing, in both kernel modes.
+        def sample():
+            values = make_values("zipf", 12_000, 3)
+            plain = HeapFile.from_values(
+                values,
+                layout="random",
+                rng=np.random.default_rng(4),
+                blocking_factor=40,
+            )
+            tracker = ReadBudget(max_failed_reads=0).tracker()
+            guarded = BlockSampleStream(
+                plain,
+                rng=np.random.default_rng(3),
+                retry=RETRY,
+                budget=tracker,
+            )
+            bare = BlockSampleStream(plain, rng=np.random.default_rng(3))
+            return guarded.take(80), bare.take(80), tracker.snapshot()
+
+        got = run_both(sample)
+        for mode in ("scalar", "vector"):
+            assert_arrays_identical(got[mode][0], got[mode][1])
+            assert got[mode][2] == {
+                "failed_reads": 0,
+                "skipped_pages": 0,
+                "simulated_s": 0.0,
+            }
+        assert_arrays_identical(got["scalar"][0], got["vector"][0])
+
+    def test_budget_abort_mid_batch_identical(self):
+        # A tight budget that dies partway through a batched take: both
+        # modes must abort at the same spend with the same accounting.
+        policy = FaultPolicy(transient_rate=0.4, corrupt_fraction=0.3, seed=13)
+
+        def sample():
+            faulty = _faulty(policy, seed=2)
+            tracker = ReadBudget(max_failed_reads=5).tracker()
+            stream = BlockSampleStream(
+                faulty,
+                rng=np.random.default_rng(3),
+                retry=RETRY,
+                budget=tracker,
+            )
+            try:
+                stream.take(120)
+            except BuildAbortedError as exc:
+                return (
+                    "aborted",
+                    exc.snapshot,
+                    tracker.snapshot(),
+                    faulty.iostats.snapshot(),
+                    stream.pages_skipped,
+                )
+            return (
+                "completed",
+                None,
+                tracker.snapshot(),
+                faulty.iostats.snapshot(),
+                stream.pages_skipped,
+            )
+
+        got = run_both(sample)
+        assert got["scalar"] == got["vector"]
+        assert got["vector"][0] == "aborted"
+        assert got["vector"][1]["failed_reads"] > 5
 
 
 class TestCVBFaultDifferential:

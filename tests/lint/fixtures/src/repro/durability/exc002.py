@@ -1,0 +1,23 @@
+"""EXC002 fixture: in-place durable writes beside the sanctioned forms."""
+
+import json
+from pathlib import Path
+
+
+def save_report(path, payload):
+    """Writes the artifact in place: both statements are flagged."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    Path(path).write_text(json.dumps(payload))
+
+
+def append_journal(path, frame):
+    """Journal appends are the sanctioned in-place protocol: clean."""
+    with open(path, "ab") as handle:
+        handle.write(frame)
+
+
+def load_report(path):
+    """Read mode never persists anything: clean."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,29 @@
+"""EXC003 fixture: swallowed broad excepts beside observable handlers."""
+
+
+def swallow_everything(task):
+    """Three silent broad handlers: bare, typed, and tuple-typed."""
+    try:
+        task()
+    except:  # noqa: E722
+        pass
+    try:
+        task()
+    except Exception:
+        pass
+    try:
+        task()
+    except (ValueError, BaseException):
+        ...
+
+
+def handle_observably(task):
+    """Narrow types and non-empty bodies are all acceptable."""
+    try:
+        task()
+    except ValueError:
+        pass
+    try:
+        return task()
+    except Exception:
+        return None

@@ -42,7 +42,7 @@ class TestRegistry:
     def test_expected_rules_registered(self):
         assert set(rule_ids()) == {
             "DET001", "DET002", "DET003", "DET004",
-            "OBS001", "EXC001", "FLT001",
+            "OBS001", "EXC001", "EXC002", "EXC003", "FLT001",
             "DOC001", "DOC002", "NOQA001",
         }
 

@@ -213,6 +213,77 @@ class TestEXC001:
         assert _rules_hit(src) == set()
 
 
+class TestEXC002:
+    SRC = '"""m."""\nwith open("x.json", "w") as _h:\n    _h.write("{}")\n'
+
+    def test_write_mode_open_flagged_in_persisting_module(self):
+        assert _rules_hit(self.SRC, rel_path="src/repro/cli.py") == {"EXC002"}
+
+    def test_durability_package_is_scoped(self):
+        hit = _rules_hit(self.SRC, rel_path="src/repro/durability/x.py")
+        assert hit == {"EXC002"}
+
+    def test_out_of_scope_module_not_flagged(self):
+        hit = _rules_hit(self.SRC, rel_path="src/repro/core/other.py")
+        assert hit == set()
+
+    def test_mode_keyword_resolved(self):
+        src = '"""m."""\n_H = open("x.json", mode="w")\n'
+        assert _rules_hit(src, rel_path="src/repro/cli.py") == {"EXC002"}
+
+    def test_path_write_text_flagged(self):
+        src = (
+            '"""m."""\nfrom pathlib import Path\n'
+            'Path("x.json").write_text("{}")\n'
+        )
+        assert _rules_hit(src, rel_path="src/repro/cli.py") == {"EXC002"}
+
+    def test_journal_append_mode_exempt(self):
+        src = '"""m."""\n_H = open("run.journal", "ab")\n'
+        assert _rules_hit(src, rel_path="src/repro/durability/j.py") == set()
+
+    def test_read_mode_untouched(self):
+        src = '"""m."""\n_H = open("x.json")\n_G = open("y.json", "rb")\n'
+        assert _rules_hit(src, rel_path="src/repro/cli.py") == set()
+
+
+class TestEXC003:
+    def test_silent_broad_except_flagged(self):
+        src = (
+            '"""m."""\n\n\ndef _f(task):\n    try:\n        task()\n'
+            "    except Exception:\n        pass\n"
+        )
+        assert _rules_hit(src) == {"EXC003"}
+
+    def test_bare_except_flagged(self):
+        src = (
+            '"""m."""\n\n\ndef _f(task):\n    try:\n        task()\n'
+            "    except:\n        ...\n"
+        )
+        assert _rules_hit(src) == {"EXC003"}
+
+    def test_broad_member_of_tuple_flagged(self):
+        src = (
+            '"""m."""\n\n\ndef _f(task):\n    try:\n        task()\n'
+            "    except (ValueError, BaseException):\n        pass\n"
+        )
+        assert _rules_hit(src) == {"EXC003"}
+
+    def test_narrow_silent_except_allowed(self):
+        src = (
+            '"""m."""\n\n\ndef _f(task):\n    try:\n        task()\n'
+            "    except OSError:\n        pass\n"
+        )
+        assert _rules_hit(src) == set()
+
+    def test_broad_except_with_observable_body_allowed(self):
+        src = (
+            '"""m."""\n\n\ndef _f(task):\n    try:\n        return task()\n'
+            "    except Exception:\n        return None\n"
+        )
+        assert _rules_hit(src) == set()
+
+
 class TestFLT001:
     SRC = '"""m."""\n\n\ndef _f(hf):\n    return hf.read_page(0)\n'
 
@@ -246,6 +317,8 @@ class TestFixturesHitExactlyTheirRule:
         "src/repro/obs/det004.py": {"DET004"},
         "src/repro/obs001.py": {"OBS001"},
         "src/repro/exc001.py": {"EXC001"},
+        "src/repro/durability/exc002.py": {"EXC002"},
+        "src/repro/exc003.py": {"EXC003"},
         "src/repro/sampling/flt001.py": {"FLT001"},
         "src/repro/doc001.py": {"DOC001"},
         "src/repro/noqa.py": {"NOQA001"},

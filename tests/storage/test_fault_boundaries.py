@@ -1,0 +1,147 @@
+"""Boundary behaviour of RetryPolicy and ReadBudget/BudgetTracker.
+
+The retry/budget specs guard the paper's "degraded but bounded" builds
+(PR 2); these tests pin their edges: zero budgets, exactly-exhausted
+limits, backoff determinism, and parameter validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BuildAbortedError, ParameterError
+from repro.storage.faults import BudgetTracker, ReadBudget, RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_single_attempt_is_the_floor(self):
+        assert RetryPolicy(max_attempts=1).max_attempts == 1
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay_s": -0.001},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+            {"seed": -1},
+        ],
+    )
+    def test_out_of_range_parameters_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoffDeterminism:
+    def test_jitterless_backoff_is_exact_geometric(self):
+        policy = RetryPolicy(base_delay_s=0.01, multiplier=2.0, jitter=0.0)
+        assert [policy.backoff_s(3, a) for a in range(4)] == [
+            0.01, 0.02, 0.04, 0.08,
+        ]
+
+    def test_zero_base_delay_never_waits(self):
+        policy = RetryPolicy(base_delay_s=0.0, jitter=0.3)
+        assert [policy.backoff_s(9, a) for a in range(3)] == [0.0, 0.0, 0.0]
+
+    def test_jitter_stays_within_its_amplitude(self):
+        policy = RetryPolicy(base_delay_s=0.01, multiplier=1.0, jitter=0.2)
+        for page_id in range(50):
+            delay = policy.backoff_s(page_id, 0)
+            assert 0.01 * 0.8 <= delay <= 0.01 * 1.2
+
+    def test_identical_seeds_reproduce_identical_backoffs(self):
+        a = RetryPolicy(seed=42, jitter=0.5)
+        b = RetryPolicy(seed=42, jitter=0.5)
+        schedule = [(p, att) for p in range(10) for att in range(3)]
+        assert [a.backoff_s(p, t) for p, t in schedule] == [
+            b.backoff_s(p, t) for p, t in schedule
+        ]
+
+    def test_jitter_decorrelates_across_pages(self):
+        policy = RetryPolicy(seed=7, jitter=0.5)
+        delays = {policy.backoff_s(page, 0) for page in range(20)}
+        assert len(delays) > 1
+
+
+class TestReadBudgetValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_failed_reads": -1},
+            {"max_skipped_pages": -1},
+            {"max_skipped_fraction": -0.1},
+            {"max_skipped_fraction": 1.5},
+            {"max_simulated_s": -1.0},
+        ],
+    )
+    def test_out_of_range_parameters_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            ReadBudget(**kwargs)
+
+    def test_fraction_and_absolute_limits_take_the_minimum(self):
+        budget = ReadBudget(max_skipped_pages=10, max_skipped_fraction=0.5)
+        assert budget.tracker(num_pages=8).max_skipped_pages == 4
+        assert budget.tracker(num_pages=100).max_skipped_pages == 10
+
+    def test_fraction_without_page_count_is_ignored(self):
+        tracker = ReadBudget(max_skipped_fraction=0.5).tracker()
+        assert tracker.max_skipped_pages is None
+
+
+class TestBudgetExhaustion:
+    def test_zero_failed_reads_budget_aborts_on_first_failure(self):
+        tracker = ReadBudget(max_failed_reads=0).tracker()
+        with pytest.raises(BuildAbortedError):
+            tracker.charge_failure()
+
+    def test_zero_skip_budget_aborts_on_first_skip(self):
+        tracker = ReadBudget(max_skipped_pages=0).tracker()
+        with pytest.raises(BuildAbortedError):
+            tracker.charge_skip()
+
+    def test_exactly_exhausted_budget_survives_the_last_charge(self):
+        tracker = ReadBudget(max_failed_reads=2).tracker()
+        tracker.charge_failure()
+        tracker.charge_failure()  # spend == limit: still within budget
+        with pytest.raises(BuildAbortedError):
+            tracker.charge_failure()
+        assert tracker.failed_reads == 3
+
+    def test_simulated_time_limit_is_exclusive(self):
+        tracker = ReadBudget(max_simulated_s=0.01).tracker()
+        tracker.charge_delay(0.01)  # == limit: allowed
+        with pytest.raises(BuildAbortedError):
+            tracker.charge_delay(1e-9)
+
+    def test_abort_carries_the_spend_snapshot(self):
+        tracker = ReadBudget(max_failed_reads=1).tracker()
+        tracker.charge_failure()
+        tracker.charge_delay(0.25)
+        with pytest.raises(BuildAbortedError) as excinfo:
+            tracker.charge_failure()
+        assert excinfo.value.snapshot == {
+            "failed_reads": 2,
+            "skipped_pages": 0,
+            "simulated_s": 0.25,
+        }
+
+    def test_unlimited_budget_never_aborts(self):
+        tracker = ReadBudget().tracker(num_pages=10)
+        for _ in range(1000):
+            tracker.charge_failure()
+            tracker.charge_skip()
+            tracker.charge_delay(10.0)
+        assert tracker.snapshot()["failed_reads"] == 1000
+
+    def test_standalone_tracker_defaults_are_unlimited(self):
+        tracker = BudgetTracker()
+        tracker.charge_failure()
+        tracker.charge_skip()
+        tracker.charge_delay(5.0)
+        assert tracker.snapshot() == {
+            "failed_reads": 1,
+            "skipped_pages": 1,
+            "simulated_s": 5.0,
+        }

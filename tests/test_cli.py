@@ -291,13 +291,14 @@ class TestMetricsWrapper:
         captured = capsys.readouterr()
         assert "exactly two of" in captured.err
 
-    def test_out_to_missing_dir_is_clean_error(self, tmp_path, capsys):
+    def test_out_to_missing_dir_creates_it(self, tmp_path, capsys):
+        # The dump goes through the atomic write helper, which creates
+        # missing parent directories rather than erroring.
         missing = tmp_path / "no" / "such" / "dir" / "m.txt"
         code = main(["metrics", "--out", str(missing)] + self.PLAN)
-        assert code == 1
-        err = capsys.readouterr().err
-        assert "error:" in err
-        assert "Traceback" not in err
+        assert code == 0
+        assert missing.exists()
+        assert "Traceback" not in capsys.readouterr().err
 
     def test_empty_registry_text_dump(self, capsys):
         # plan is pure arithmetic: it emits no metrics, and the wrapper

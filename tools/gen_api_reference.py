@@ -122,6 +122,19 @@ SECTIONS = [
         ],
     ),
     (
+        "repro.durability — crash-safe persistence",
+        "Atomic writes, CRC-framed journals, the durable statistics "
+        "catalog, resumable run checkpoints and the process-kill chaos "
+        "harness; see docs/DURABILITY.md for formats and guarantees.",
+        [
+            "repro.durability.atomic",
+            "repro.durability.journal",
+            "repro.durability.catalog_store",
+            "repro.durability.runjournal",
+            "repro.durability.chaos",
+        ],
+    ),
+    (
         "repro.obs — observability",
         "Metrics registry, trace spans, exporters and the deterministic "
         "benchmark harness; see docs/OBSERVABILITY.md for the full catalog.",
