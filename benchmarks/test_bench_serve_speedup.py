@@ -1,0 +1,184 @@
+"""Serving layer: cache-hit latency vs cold ANALYZE (>= 10x contract).
+
+The point of the ``repro.serve`` statistics cache is that answering an
+estimate from a cached (statistics bundle, BucketIndex) pair costs orders
+of magnitude less than building the statistics on demand.  This benchmark
+measures both paths through the real server surface —
+
+- **cold ANALYZE**: a fresh :class:`~repro.serve.StatsServer` handles one
+  ``analyze`` request (admission slot, sampling build, cache install), and
+- **cache hit**: the warmed server answers ``estimate_range`` /
+  ``estimate_quantile`` requests from the hot bundle (validation, cache
+  lookup, O(log k) index probe) —
+
+and records per-request wall clock plus the realised speedup in
+``benchmarks/results/serve_speedup.txt``.  The >= 10x assertion runs at
+every scale (set ``REPRO_ASSERT_SPEEDUP=0`` to disable): even the smoke
+workload's build samples thousands of tuples while a hit is a dict lookup
+plus a binary search, so the gap is structural, not a tuning artefact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from _emit import emit_json
+from conftest import run_once
+
+from repro.engine import Table
+from repro.experiments import reporting
+from repro.experiments.config import get_scale
+from repro.serve import StatsServer
+from repro.workloads.datasets import make_dataset
+
+#: Best-of repetitions for the cold-ANALYZE timing.
+COLD_REPS = 3
+#: Cache-hit requests timed per estimate endpoint (per-request = mean).
+HIT_REQUESTS = 2000
+#: The per-request improvement the cache-hit path must deliver.
+TARGET_SPEEDUP = 10.0
+
+
+def _best_of(fn, reps):
+    """Minimum wall-clock over *reps* runs; returns (seconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _fresh_server(values, k, seed):
+    """A server over one zipf2 column with nothing built or cached yet."""
+    return StatsServer(
+        {"bench": Table("bench", {"value": values})},
+        seed=seed,
+        build_params={"k": k},
+    )
+
+
+def _checked(response):
+    """Unwrap a server response, failing loudly on transport-level errors."""
+    assert response["ok"], response
+    return response["result"]
+
+
+def _measure(values, k):
+    """Time the cold-build and cache-hit paths; return walls + evidence."""
+
+    def cold_analyze():
+        server = _fresh_server(values, k, seed=7)
+        return _checked(
+            server.handle({"op": "analyze", "table": "bench", "column": "value"})
+        )
+
+    cold_s, cold_result = _best_of(cold_analyze, COLD_REPS)
+
+    server = _fresh_server(values, k, seed=7)
+    _checked(server.handle({"op": "analyze", "table": "bench", "column": "value"}))
+    rng = np.random.default_rng(11)
+    lo_d, hi_d = float(values.min()), float(values.max())
+    width = hi_d - lo_d
+    ranges = [
+        tuple(sorted((lo_d + float(a) * width, lo_d + float(b) * width)))
+        for a, b in rng.random((HIT_REQUESTS, 2))
+    ]
+    quantiles = [float(q) for q in rng.random(HIT_REQUESTS)]
+
+    def hit_ranges():
+        rows = 0.0
+        for lo, hi in ranges:
+            rows += _checked(
+                server.handle(
+                    {
+                        "op": "estimate_range", "table": "bench",
+                        "column": "value", "lo": lo, "hi": hi,
+                    }
+                )
+            )["rows"]
+        return rows
+
+    def hit_quantiles():
+        acc = 0.0
+        for q in quantiles:
+            acc += _checked(
+                server.handle(
+                    {
+                        "op": "estimate_quantile", "table": "bench",
+                        "column": "value", "q": q,
+                    }
+                )
+            )["value"]
+        return acc
+
+    range_s, _ = _best_of(hit_ranges, 1)
+    quantile_s, _ = _best_of(hit_quantiles, 1)
+    hits = server.cache.hits
+    return {
+        "cold_s": cold_s,
+        "cold_pages_read": cold_result["pages_read"],
+        "range_per_req_s": range_s / HIT_REQUESTS,
+        "quantile_per_req_s": quantile_s / HIT_REQUESTS,
+        "cache_hits": hits,
+    }
+
+
+def test_cache_hit_is_10x_faster_than_cold_analyze(benchmark, report):
+    scale = get_scale()
+    values = make_dataset("zipf2", scale.n, rng=0).values
+    measured = run_once(benchmark, _measure, values, scale.k)
+
+    assert measured["cache_hits"] >= 2 * HIT_REQUESTS
+    hit_s = max(measured["range_per_req_s"], measured["quantile_per_req_s"])
+    speedup = measured["cold_s"] / hit_s if hit_s else float("inf")
+
+    rows = [
+        ["cold_analyze", measured["cold_s"], 1.0],
+        ["hit_estimate_range", measured["range_per_req_s"],
+         measured["cold_s"] / measured["range_per_req_s"]],
+        ["hit_estimate_quantile", measured["quantile_per_req_s"],
+         measured["cold_s"] / measured["quantile_per_req_s"]],
+    ]
+    text = "\n".join(
+        [
+            reporting.paper_note(
+                "the serving cache answers estimates from the hot "
+                "(statistics, BucketIndex) bundle orders of magnitude "
+                "faster than building statistics on demand",
+                caveat=f"scale={scale.name} (n={scale.n}, k={scale.k}), "
+                f"{HIT_REQUESTS} hits/endpoint, cold best of {COLD_REPS}, "
+                f"cold build read {measured['cold_pages_read']} pages",
+            ),
+            "",
+            reporting.format_table(
+                ["path", "per_request_s", "speedup_vs_cold"], rows
+            ),
+        ]
+    )
+    report("serve_speedup", text)
+    emit_json(
+        "serve_speedup",
+        {
+            "params": {
+                "scale": scale.name,
+                "n": scale.n,
+                "k": scale.k,
+                "hit_requests": HIT_REQUESTS,
+                "cold_reps": COLD_REPS,
+            },
+            "cold_analyze_s": measured["cold_s"],
+            "cold_pages_read": measured["cold_pages_read"],
+            "hit_estimate_range_s": measured["range_per_req_s"],
+            "hit_estimate_quantile_s": measured["quantile_per_req_s"],
+            "speedup_worst_endpoint": speedup,
+        },
+    )
+
+    if os.environ.get("REPRO_ASSERT_SPEEDUP", "1") != "0":
+        assert speedup >= TARGET_SPEEDUP, (
+            f"expected cache hits >= {TARGET_SPEEDUP}x faster than cold "
+            f"ANALYZE at n={scale.n}, measured {speedup:.1f}x"
+        )

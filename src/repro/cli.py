@@ -51,6 +51,17 @@ Four subcommands expose the library to shell users:
     unsuppressed error-severity finding — the CI gate.  Supports
     ``--rules`` selection, ``--baseline`` diffing and ``--list-rules``.
 
+``serve``
+    Statistics-as-a-service (:mod:`repro.serve`): run the asyncio
+    JSON-lines TCP server over synthetic tables (``--table
+    NAME=DATASET:N``, repeatable), or drive the deterministic closed-loop
+    load generator against an in-process server (``--loadgen``) or a
+    running one (``--connect HOST:PORT``).  The loadgen's logical summary
+    (``--out``) is bit-identical across runs and ``--clients`` counts;
+    wall latencies (p50/p99) go to stdout / ``--wall-out``.  ``--store
+    DIR`` persists the catalog crash-safely and warm-starts from it.  See
+    docs/SERVING.md.
+
 ``figure``, ``chaos`` and ``bench`` additionally accept ``--trace FILE`` to
 record a structured span trace (JSON lines) of the run; see
 docs/OBSERVABILITY.md for how to read one.  They also accept
@@ -371,6 +382,91 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--out", metavar="FILE",
         help="write the report to FILE instead of stdout",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="statistics server (asyncio TCP) and deterministic loadgen",
+    )
+    serve.add_argument(
+        "--table", action="append", metavar="NAME=DATASET:N",
+        dest="tables",
+        help="serve a synthetic table: NAME=DATASET:N with DATASET one of "
+             f"{', '.join(DATASET_NAMES)} (repeatable; default "
+             "orders=zipf2:20000)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="server seed: every ANALYZE RNG derives from it (default 0)",
+    )
+    serve.add_argument(
+        "--k", type=int, default=64,
+        help="default histogram buckets for server-side builds (default 64)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=128,
+        help="LRU statistics-cache capacity in columns (default 128)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="concurrent ANALYZE builds admitted (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="queued ANALYZE builds before shedding (default 8)",
+    )
+    serve.add_argument(
+        "--store", metavar="DIR",
+        help="durable CatalogStore directory: crash-safe statistics and "
+             "warm start on restart",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; printed as SERVE_READY)",
+    )
+    serve.add_argument(
+        "--ready-file", metavar="FILE",
+        help="also write the SERVE_READY line to FILE (atomically)",
+    )
+    serve.add_argument(
+        "--loadgen", action="store_true",
+        help="run the closed-loop load generator against an in-process "
+             "server instead of serving TCP",
+    )
+    serve.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="run the load generator against an already-running server",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="loadgen: concurrent-phase requests (default 200)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="loadgen: client threads/connections (default 4); logical "
+             "summaries are bit-identical for any value",
+    )
+    serve.add_argument(
+        "--loadgen-seed", type=int, default=0,
+        help="loadgen: schedule seed (default 0)",
+    )
+    serve.add_argument(
+        "--churn-rows", type=int, default=0,
+        help="loadgen: modifications reported per column between warmup "
+             "and the query phase (default 0 = no refresh)",
+    )
+    serve.add_argument(
+        "--out", metavar="FILE",
+        help="loadgen: write the byte-stable logical summary JSON to FILE",
+    )
+    serve.add_argument(
+        "--wall-out", metavar="FILE",
+        help="loadgen: write the wall-latency summary (p50/p99) to FILE",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE",
+        help="record a span trace of the run (JSON lines)",
     )
 
     metrics = sub.add_parser(
@@ -838,6 +934,137 @@ def _cmd_lint(args) -> int:
     return 1 if report.errors else 0
 
 
+def _parse_table_specs(specs, seed: int):
+    """Materialise ``NAME=DATASET:N`` specs into Table objects.
+
+    Each table gets one ``value`` column drawn from the named synthetic
+    dataset with an rng derived from (seed, table index) — so the served
+    data is a pure function of the CLI arguments.
+    """
+    from .engine import Table as _Table
+
+    tables = {}
+    for index, spec in enumerate(specs or ["orders=zipf2:20000"]):
+        try:
+            name, rest = spec.split("=", 1)
+            dataset, n_text = rest.split(":", 1)
+            n = int(n_text)
+        except ValueError:
+            raise ReproError(
+                f"bad --table spec {spec!r}; expected NAME=DATASET:N"
+            ) from None
+        if dataset not in DATASET_NAMES:
+            raise ReproError(
+                f"unknown dataset {dataset!r}; pick one of "
+                f"{', '.join(DATASET_NAMES)}"
+            )
+        data = make_dataset(dataset, n, rng=np.random.default_rng([seed, index]))
+        tables[name] = _Table(name, {"value": data.values})
+    return tables
+
+
+def _serve_loadgen_report(args, summary) -> int:
+    """Print/write a loadgen summary: logical JSON + wall latencies."""
+    import json as _json
+
+    logical_text = (
+        _json.dumps(summary["logical"], indent=2, sort_keys=True) + "\n"
+    )
+    wall = summary["wall"]
+    wall_text = _json.dumps(wall, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.out, logical_text)
+        print(f"logical summary written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(logical_text)
+    if args.wall_out:
+        from .durability import atomic_write_text
+
+        atomic_write_text(args.wall_out, wall_text)
+    checksums = summary["logical"]["checksums"]
+    print(
+        f"loadgen: {summary['logical']['requests']} requests by endpoint, "
+        f"{checksums['answers']} answers "
+        f"(rows_fsum={checksums['rows_fsum']:.6g}), "
+        f"errors={summary['logical']['errors']}",
+        file=sys.stderr,
+    )
+    print(
+        f"latency: p50={wall['p50_s'] * 1e3:.3f} ms "
+        f"p99={wall['p99_s'] * 1e3:.3f} ms "
+        f"max={wall['max_s'] * 1e3:.3f} ms "
+        f"over {wall['requests_timed']} timed requests",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import (
+        AdmissionController,
+        LoadGenerator,
+        LoadProfile,
+        StatsServer,
+        serve_forever,
+    )
+
+    if args.connect and args.loadgen:
+        print(
+            "error: pass --loadgen (in-process) or --connect HOST:PORT, "
+            "not both",
+            file=sys.stderr,
+        )
+        return 2
+    with _maybe_tracing(args.trace, "serve"):
+        if args.connect:
+            try:
+                host, port_text = args.connect.rsplit(":", 1)
+                port = int(port_text)
+            except ValueError:
+                print(
+                    f"error: bad --connect {args.connect!r}; expected "
+                    "HOST:PORT",
+                    file=sys.stderr,
+                )
+                return 2
+            profile = LoadProfile(
+                requests=args.requests, clients=args.clients,
+                seed=args.loadgen_seed, churn_rows=args.churn_rows,
+                analyze_params=(("k", args.k),),
+            )
+            summary = LoadGenerator(
+                address=(host, port), profile=profile
+            ).run()
+            return _serve_loadgen_report(args, summary)
+
+        server = StatsServer(
+            _parse_table_specs(args.tables, args.seed),
+            seed=args.seed,
+            cache_capacity=args.cache_capacity,
+            admission=AdmissionController(
+                max_inflight=args.max_inflight, max_queue=args.max_queue
+            ),
+            store=args.store,
+            build_params={"k": args.k},
+        )
+        if args.loadgen:
+            profile = LoadProfile(
+                requests=args.requests, clients=args.clients,
+                seed=args.loadgen_seed, churn_rows=args.churn_rows,
+                analyze_params=(("k", args.k),),
+            )
+            summary = LoadGenerator(server=server, profile=profile).run()
+            server.checkpoint()
+            return _serve_loadgen_report(args, summary)
+        serve_forever(
+            server, host=args.host, port=args.port,
+            ready_path=args.ready_file,
+        )
+        return 0
+
+
 def _cmd_metrics(args) -> int:
     from .obs import metrics as obs_metrics
 
@@ -884,6 +1111,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
         "metrics": _cmd_metrics,
     }
     try:

@@ -14,6 +14,7 @@ module supplies that policy glue:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .._rng import RngLike
@@ -100,6 +101,17 @@ class AutoStatistics:
         self.refresh_count = 0
         #: How many refreshes aborted and served a degraded last-known-good.
         self.degraded_count = 0
+        self._flight_guard = threading.Lock()
+        self._flight_locks: dict[tuple[str, str], threading.Lock] = {}
+
+    def _flight_lock(self, table_name: str, column_name: str) -> threading.Lock:
+        """The single-flight lock serialising refreshes of one column."""
+        key = (table_name, column_name)
+        with self._flight_guard:
+            lock = self._flight_locks.get(key)
+            if lock is None:
+                lock = self._flight_locks[key] = threading.Lock()
+            return lock
 
     def analyze(
         self, table: Table, column_name: str, rng: RngLike = None, **params
@@ -135,6 +147,13 @@ class AutoStatistics:
         The modification counter is *not* reset in that case, so the very
         next read attempts the refresh again — a later successful rebuild
         replaces the degraded bundle with a fresh, undegraded one.
+
+        Refreshes are **single-flight per column**: concurrent callers that
+        observe the same stale statistics serialise on a per-column lock and
+        re-check staleness after acquiring it, so exactly one of them runs
+        the rebuild while the rest return the freshly built bundle.  Without
+        this, the async server's first burst of queries after a modification
+        wave would pile duplicate ANALYZE scans onto the same column.
         """
         with _trace.span(
             "autostats.ensure_fresh", table=table.name, column=column_name
@@ -144,26 +163,38 @@ class AutoStatistics:
                 _metrics.inc("repro_autostats_requests_total", result="fresh")
                 span.set(result="fresh")
                 return stats
-            params = dict(stats.build_params)
-            params.setdefault("k", stats.histogram.k)
-            refreshed, ok = build_or_fallback(
-                self.manager,
-                table,
-                column_name,
-                fallback=stats,
-                rng=rng,
-                method=stats.method,
-                **params,
-            )
-            if not ok:
-                self.degraded_count += 1
-                _metrics.inc(
-                    "repro_autostats_requests_total", result="degraded"
-                )
-                span.set(result="degraded")
-                return refreshed
-            self.modifications.reset(table.name, column_name)
-            self.refresh_count += 1
-            _metrics.inc("repro_autostats_requests_total", result="refreshed")
-            span.set(result="refreshed")
+            with self._flight_lock(table.name, column_name):
+                # Double-checked staleness: a concurrent caller may have
+                # finished the rebuild while we waited on the lock.
+                stats = self.manager.statistics(table.name, column_name)
+                if not self.is_stale(table.name, column_name):
+                    _metrics.inc(
+                        "repro_autostats_requests_total", result="fresh"
+                    )
+                    span.set(result="fresh")
+                    return stats
+                return self._refresh_locked(table, column_name, stats, rng, span)
+
+    def _refresh_locked(self, table, column_name, stats, rng, span):
+        """Run the stale-statistics rebuild while holding the flight lock."""
+        params = dict(stats.build_params)
+        params.setdefault("k", stats.histogram.k)
+        refreshed, ok = build_or_fallback(
+            self.manager,
+            table,
+            column_name,
+            fallback=stats,
+            rng=rng,
+            method=stats.method,
+            **params,
+        )
+        if not ok:
+            self.degraded_count += 1
+            _metrics.inc("repro_autostats_requests_total", result="degraded")
+            span.set(result="degraded")
             return refreshed
+        self.modifications.reset(table.name, column_name)
+        self.refresh_count += 1
+        _metrics.inc("repro_autostats_requests_total", result="refreshed")
+        span.set(result="refreshed")
+        return refreshed

@@ -93,7 +93,9 @@ BENCH_SCHEMA_VERSION = 1
 
 #: Histogram metrics whose observations are wall-clock measurements; they
 #: are excluded from the deterministic logical section.
-_TIMING_METRICS = frozenset({"repro_pool_trial_seconds"})
+_TIMING_METRICS = frozenset(
+    {"repro_pool_trial_seconds", "repro_serve_request_seconds"}
+)
 
 #: Counter metrics whose values are serialization byte sizes (pickle
 #: protocol, platform path lengths) and therefore vary across Python
@@ -903,6 +905,244 @@ _register(
 )
 
 
+# --- serve -------------------------------------------------------------
+
+
+def _serve_queries(values: np.ndarray, count: int, seed: int) -> list:
+    """Deterministic range-query schedule over the column's domain."""
+    rng = np.random.default_rng(seed)
+    lo_d, hi_d = float(values.min()), float(values.max())
+    width = hi_d - lo_d
+    queries = []
+    for _ in range(count):
+        a, b = sorted((float(rng.random()), float(rng.random())))
+        queries.append((lo_d + a * width, lo_d + b * width))
+    return queries
+
+
+def _serve_cache_setup(scale: BenchScale, seed: int) -> dict:
+    """A warmed statistics server: one column built, cache+index hot."""
+    from ..engine import Table
+    from ..serve import StatsServer
+
+    values, _ = _make_table(scale, seed)
+    server = StatsServer(
+        {"bench": Table("bench", {"value": values})},
+        seed=seed + 21,
+        build_params={"k": scale.k},
+    )
+    response = server.handle(
+        {"op": "analyze", "table": "bench", "column": "value"}
+    )
+    if not response["ok"]:  # pragma: no cover - setup invariant
+        raise ParameterError(f"serve_cache warmup failed: {response}")
+    return {
+        "server": server,
+        "queries": _serve_queries(values, scale.queries, seed + 22),
+    }
+
+
+def _serve_cache_run(ctx: dict) -> dict:
+    """Pure cache-hit serving: every request answered from the hot bundle.
+
+    This is the latency floor of the serving path (no build, no staleness
+    miss): ``benchmarks/test_bench_serve_speedup.py`` asserts it beats a
+    cold ANALYZE by >= 10x.
+    """
+    server = ctx["server"]
+    hits_before = server.cache.hits
+    rows = []
+    errors = 0
+    for lo, hi in ctx["queries"]:
+        response = server.handle(
+            {
+                "op": "estimate_range", "table": "bench",
+                "column": "value", "lo": lo, "hi": hi,
+            }
+        )
+        if response["ok"]:
+            rows.append(float(response["result"]["rows"]))
+        else:
+            errors += 1
+    return {
+        "requests": len(ctx["queries"]),
+        "rows_fsum": math.fsum(rows),
+        "cache_hits": server.cache.hits - hits_before,
+        "errors": errors,
+    }
+
+
+_register(
+    Scenario(
+        name="serve_cache",
+        paper="Serving layer (ROADMAP 1): statistics-cache hit path",
+        help="estimate_range against a hot StatsServer cache + BucketIndex",
+        setup=_serve_cache_setup,
+        run=_serve_cache_run,
+    )
+)
+
+
+def _serve_latency_setup(scale: BenchScale, seed: int) -> dict:
+    """Inputs for a full closed-loop loadgen run (server built per run)."""
+    values, _ = _make_table(scale, seed)
+    return {
+        "values": values,
+        "k": scale.k,
+        "seed": seed,
+        "requests": scale.queries,
+        # Past the RefreshPolicy threshold max(500, 0.2 n), so the churn
+        # phase triggers exactly one auto-refresh of the column.
+        "churn": scale.n // 4 + 500,
+    }
+
+
+def _serve_latency_run(ctx: dict) -> dict:
+    """One deterministic loadgen run: warmup build, churn refresh, queries.
+
+    The loadgen's logical summary is bit-identical across client counts;
+    its request-latency p50/p99 land in the report's wall section via
+    ``wall_extra``.
+    """
+    from ..engine import Table
+    from ..serve import LoadGenerator, LoadProfile, StatsServer
+
+    server = StatsServer(
+        {"bench": Table("bench", {"value": ctx["values"]})},
+        seed=ctx["seed"] + 31,
+        build_params={"k": ctx["k"]},
+    )
+    profile = LoadProfile(
+        requests=ctx["requests"],
+        clients=2,
+        seed=ctx["seed"] + 32,
+        churn_rows=ctx["churn"],
+        analyze_params=(("k", ctx["k"]),),
+    )
+    summary = LoadGenerator(server=server, profile=profile).run()
+    logical = summary["logical"]
+    ctx["wall_extra"] = {
+        "p50_s": summary["wall"]["p50_s"],
+        "p99_s": summary["wall"]["p99_s"],
+    }
+    return {
+        "requests": logical["requests"],
+        "answers": logical["checksums"]["answers"],
+        "rows_fsum": logical["checksums"]["rows_fsum"],
+        "refreshes": logical["builds"]["refreshes"],
+        "errors": logical["errors"],
+    }
+
+
+_register(
+    Scenario(
+        name="serve_latency",
+        paper="Serving layer (ROADMAP 1): closed-loop load, p50/p99 wall",
+        help="deterministic loadgen run (warmup + churn refresh + queries)",
+        setup=_serve_latency_setup,
+        run=_serve_latency_run,
+    )
+)
+
+
+def _serve_degraded_setup(scale: BenchScale, seed: int) -> dict:
+    """A server whose only column aborts every rebuild (poisoned budget).
+
+    Mirrors the resilience tests' sabotage: the remembered build params
+    gain a 50% transient-fault policy with a 2-failed-reads budget, so
+    every auto-refresh raises BuildAbortedError and the serving path falls
+    back to the degraded last-known-good bundle.
+    """
+    from ..engine import Table
+    from ..serve import AdmissionController, StatsServer
+    from ..storage import FaultPolicy, ReadBudget, RetryPolicy
+
+    values, _ = _make_table(scale, seed)
+    server = StatsServer(
+        {"bench": Table("bench", {"value": values})},
+        seed=seed + 41,
+        admission=AdmissionController(max_inflight=1, max_queue=0),
+        build_params={"k": scale.k},
+    )
+    response = server.handle(
+        {"op": "analyze", "table": "bench", "column": "value"}
+    )
+    if not response["ok"]:  # pragma: no cover - setup invariant
+        raise ParameterError(f"serve_degraded warmup failed: {response}")
+    stats = server.auto.manager.statistics("bench", "value")
+    stats.build_params["fault_policy"] = FaultPolicy(
+        transient_rate=0.5, seed=seed + 42
+    )
+    stats.build_params["retry"] = RetryPolicy(max_attempts=2, seed=seed + 43)
+    stats.build_params["read_budget"] = ReadBudget(max_failed_reads=2)
+    return {
+        "server": server,
+        "queries": _serve_queries(values, scale.queries // 4, seed + 44),
+        "churn": scale.n // 4 + 500,
+    }
+
+
+def _serve_degraded_run(ctx: dict) -> dict:
+    """Degraded-mode serving: aborted refreshes + an admission shed.
+
+    Every estimate finds stale statistics, attempts the (sabotaged)
+    rebuild, and serves the last-known-good bundle flagged degraded; the
+    final ANALYZE arrives while the only build slot is held and is shed,
+    still answering from the degraded bundle.
+    """
+    server = ctx["server"]
+    degraded_before = server.degraded_served
+    shed_before = server.admission.shed
+    server.handle(
+        {
+            "op": "modify", "table": "bench", "column": "value",
+            "rows": ctx["churn"],
+        }
+    )
+    rows = []
+    all_degraded = True
+    for lo, hi in ctx["queries"]:
+        response = server.handle(
+            {
+                "op": "estimate_range", "table": "bench",
+                "column": "value", "lo": lo, "hi": hi,
+            }
+        )
+        rows.append(float(response["result"]["rows"]))
+        all_degraded = all_degraded and response["result"]["degraded"]
+    server.admission.try_acquire()  # hold the only slot
+    try:
+        shed_response = server.handle(
+            {"op": "analyze", "table": "bench", "column": "value"}
+        )
+    finally:
+        server.admission.release()
+    shed_result = shed_response["result"]
+    return {
+        "requests": len(ctx["queries"]) + 1,
+        "rows_fsum": math.fsum(rows),
+        "all_degraded": all_degraded,
+        "degraded_served": server.degraded_served - degraded_before,
+        "shed": server.admission.shed - shed_before,
+        "shed_served_degraded": bool(
+            shed_response["ok"]
+            and shed_result["degraded"]
+            and shed_result["admission"] == "shed"
+        ),
+    }
+
+
+_register(
+    Scenario(
+        name="serve_degraded",
+        paper="Serving layer (ROADMAP 1): degraded-mode + admission shed",
+        help="aborted refreshes served from last-known-good; ANALYZE shed",
+        setup=_serve_degraded_setup,
+        run=_serve_degraded_run,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -1037,6 +1277,14 @@ def run_scenario(
                 "warmup": warmup,
             },
         }
+        # Scenarios may deposit extra wall-clock readings (e.g. the serve
+        # scenarios' request-latency p50/p99) under "wall_extra"; they are
+        # merged additively into the wall section, which compare_reports
+        # only ever threshold-gates via median_s — never exactly.
+        extra = ctx.get("wall_extra")
+        if extra:
+            for key, value in sorted(extra.items()):
+                entry["wall"].setdefault(key, value)
 
         if profile_dir is not None:
             with _trace.span(

@@ -188,6 +188,43 @@ _SPECS = [
         "repro_journal_replays_total", COUNTER, (),
         "Catalog journal records replayed into memory on store open.",
     ),
+    # ------------------------------------------------------------------
+    # serve — the statistics server, cache, and admission control
+    # ------------------------------------------------------------------
+    MetricSpec(
+        "repro_serve_requests_total", COUNTER, ("endpoint",),
+        "Requests handled by the statistics server, by endpoint "
+        "(endpoint=analyze|estimate_range|estimate_equality|"
+        "estimate_quantile|estimate_distinct|modify|status|ping).",
+    ),
+    MetricSpec(
+        "repro_serve_cache_events_total", COUNTER, ("event",),
+        "Statistics-cache lifecycle events "
+        "(event=hit|miss|refresh|evict).",
+    ),
+    MetricSpec(
+        "repro_serve_admission_total", COUNTER, ("decision",),
+        "Admission-controller decisions for ANALYZE builds "
+        "(decision=admitted|queued|shed).",
+    ),
+    MetricSpec(
+        "repro_serve_degraded_total", COUNTER, (),
+        "Requests answered from degraded (fallback) statistics.",
+    ),
+    MetricSpec(
+        "repro_serve_inflight_builds", GAUGE, (),
+        "ANALYZE builds currently executing inside the server.",
+    ),
+    MetricSpec(
+        "repro_serve_request_seconds", HISTOGRAM, (),
+        "Wall-clock seconds per served request (timing-only; excluded "
+        "from logical bench comparisons).",
+    ),
+    MetricSpec(
+        "repro_serve_index_probes", HISTOGRAM, (),
+        "Separator comparisons per BucketIndex lookup (O(log k) by "
+        "construction; deterministic, so safe in logical costs).",
+    ),
 ]
 
 #: Every metric the library may emit, keyed by name.
@@ -213,4 +250,9 @@ SPANS: dict[str, str] = {
                              "write plus journal truncation).",
     "durability.recover": "One CatalogStore open (snapshot load plus "
                           "journal replay and tail repair).",
+    "serve.request": "One request handled by the statistics server.",
+    "serve.build": "One ANALYZE build executed on behalf of the server "
+                   "(admission-controlled).",
+    "serve.loadgen": "One closed-loop load-generator run against a "
+                     "server.",
 }

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -94,6 +95,12 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, _LabelKey], float] = {}
         self._gauges: dict[tuple[str, _LabelKey], float] = {}
         self._histograms: dict[tuple[str, _LabelKey], list[float]] = {}
+        # The serving layer emits from many threads at once; without this
+        # lock the read-modify-write in inc() loses updates.  Counter values
+        # stay exact under concurrency (integer-valued additions commute),
+        # so deterministic workloads export identically for any thread
+        # interleaving.
+        self._mutate_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Emission
@@ -125,18 +132,21 @@ class MetricsRegistry:
             )
         self._check(name, COUNTER, labels)
         key = (name, _label_key(labels))
-        self._counters[key] = self._counters.get(key, 0.0) + amount
+        with self._mutate_lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
 
     def set_gauge(self, name: str, value: float, **labels) -> None:
         """Set gauge *name* to *value* for the given labels."""
         self._check(name, GAUGE, labels)
-        self._gauges[(name, _label_key(labels))] = float(value)
+        with self._mutate_lock:
+            self._gauges[(name, _label_key(labels))] = float(value)
 
     def observe(self, name: str, value: float, **labels) -> None:
         """Record one observation of *value* into histogram *name*."""
         self._check(name, HISTOGRAM, labels)
         key = (name, _label_key(labels))
-        self._histograms.setdefault(key, []).append(float(value))
+        with self._mutate_lock:
+            self._histograms.setdefault(key, []).append(float(value))
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -157,19 +167,25 @@ class MetricsRegistry:
         """Fold a :meth:`snapshot` dict in — the picklable twin of
         :meth:`merge`, used to ship worker-side registries back through a
         process pool."""
-        for name, labels, value in snapshot.get("counters", []):
-            key = (name, _label_key(labels))
-            self._counters[key] = self._counters.get(key, 0.0) + value
-        for name, labels, value in snapshot.get("gauges", []):
-            key = (name, _label_key(labels))
-            self._gauges[key] = self._gauges.get(key, 0.0) + value
-        for name, labels, values in snapshot.get("histograms", []):
-            key = (name, _label_key(labels))
-            self._histograms.setdefault(key, []).extend(values)
+        with self._mutate_lock:
+            for name, labels, value in snapshot.get("counters", []):
+                key = (name, _label_key(labels))
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for name, labels, value in snapshot.get("gauges", []):
+                key = (name, _label_key(labels))
+                self._gauges[key] = self._gauges.get(key, 0.0) + value
+            for name, labels, values in snapshot.get("histograms", []):
+                key = (name, _label_key(labels))
+                self._histograms.setdefault(key, []).extend(values)
         return self
 
     def snapshot(self) -> dict:
         """Plain-data (picklable, JSON-able) copy of the registry state."""
+        with self._mutate_lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
+        """Build the snapshot dict; caller holds the mutation lock."""
         return {
             "counters": [
                 [name, dict(labels), value]
@@ -187,9 +203,10 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every recorded value (declared metrics stay declared)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._mutate_lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # ------------------------------------------------------------------
     # Reading

@@ -1,0 +1,234 @@
+"""Tree-like bucket index: O(log k) histogram lookups, bit-identical.
+
+:class:`~repro.core.histogram.EquiHeightHistogram` answers ``estimate_leq``
+with a linear prefix sum over the bucket counts and ``estimate_quantile``
+with a linear bucket walk — fine for the paper's k <= a few hundred, but a
+serving path fielding millions of lookups over large-k histograms wants the
+tree-like bucket index of *Enhancing Histograms by Tree-Like Bucket
+Indices* (PAPERS.md): precomputed subtree (here: prefix) sums probed by
+binary search.
+
+:class:`BucketIndex` is that index.  The contract is **bit-identical
+results**: every estimator replays the histogram's own float expressions —
+same operands, same order — and only replaces the O(k) scans with O(log k)
+searches over precomputed exact integer prefix sums.  ``tests/serve/
+test_bucket_index.py`` enforces equivalence by hypothesis and probe counts.
+
+Why the prefix sums preserve bit-identity: bucket counts are int64 and the
+summarised totals stay far below 2**53, so ``float(counts[:j].sum())``
+(the histogram's expression) and ``float(prefix[j])`` (ours) round the same
+integer and are equal, while the sequential float accumulation in
+``estimate_quantile`` adds exactly-representable integers and therefore
+also equals ``float(prefix[j])`` at every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.histogram import EquiHeightHistogram
+from ..exceptions import ParameterError
+from ..obs.metrics import observe
+
+__all__ = ["BucketIndex"]
+
+
+class BucketIndex:
+    """O(log k) range/quantile index over one equi-height histogram.
+
+    Duck-types the histogram's estimator surface (``estimate_leq``,
+    ``estimate_lt``, ``estimate_range``, ``estimate_quantile``,
+    ``bucket_index``, ``total``), so it drops into
+    :class:`~repro.engine.selectivity.RangeSelectivityEstimator` unchanged.
+    Instances are immutable snapshots of the histogram they were built
+    from; rebuild the index when the histogram changes.
+    """
+
+    def __init__(self, histogram: EquiHeightHistogram):
+        """Precompute bounds and exact integer prefix sums from *histogram*."""
+        self._k = histogram.k
+        self._separators = np.asarray(histogram.separators, dtype=float)
+        self._counts = np.asarray(histogram.counts, dtype=np.int64)
+        self._eq_counts = np.asarray(histogram.eq_counts, dtype=np.int64)
+        self._min = float(histogram.min_value)
+        self._max = float(histogram.max_value)
+        self._bounds = np.concatenate(
+            ([self._min], self._separators, [self._max])
+        )
+        # prefix[j] = counts[:j].sum() exactly (int64); prefix[k] = total.
+        self._prefix = np.concatenate(
+            ([0], np.cumsum(self._counts, dtype=np.int64))
+        )
+        self._total = int(self._prefix[-1])
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of buckets."""
+        return self._k
+
+    @property
+    def total(self) -> int:
+        """Total summarised count (``histogram.total``)."""
+        return self._total
+
+    @property
+    def probes(self) -> int:
+        """Separator/prefix comparisons made since construction.
+
+        The O(log k) contract is observable: tests assert this grows
+        logarithmically in ``k`` per lookup.
+        """
+        return self._probes
+
+    # ------------------------------------------------------------------
+    # Binary searches (each comparison counts as one probe)
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """First bucket ``i`` with ``separators[i] >= value`` (else ``k-1``).
+
+        Replicates ``np.searchsorted(separators, value, side="left")``
+        with an instrumented binary search.
+        """
+        index, probes = self._search_separators(value)
+        self._probes += probes
+        return index
+
+    def _search_separators(self, value: float) -> tuple[int, int]:
+        """Binary-search the separators; return ``(index, probe count)``.
+
+        Probes are counted locally (not via the shared ``_probes`` field)
+        so concurrent lookups on a cached index record exact per-call
+        counts — the shared counter is only bumped once per search.
+        """
+        seps = self._separators
+        lo, hi = 0, int(seps.size)
+        probes = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probes += 1
+            if float(seps[mid]) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo, probes
+
+    def _search_prefix(self, target: float) -> tuple[int, int]:
+        """Smallest ``j`` with ``float(prefix[j+1]) >= target``, plus probes.
+
+        ``j`` is clamped to ``k - 1``.  This is the bucket the histogram's
+        linear quantile walk stops at: its running float ``cumulative``
+        equals ``float(prefix[j])`` exactly (see module docstring), so the
+        stopping condition ``cumulative + count >= target`` is
+        ``float(prefix[j+1]) >= target``.
+        """
+        prefix = self._prefix
+        lo, hi = 0, self._k - 1
+        probes = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probes += 1
+            if float(prefix[mid + 1]) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo, probes
+
+    # ------------------------------------------------------------------
+    # Estimators — float expressions copied verbatim from the histogram
+    # ------------------------------------------------------------------
+
+    def estimate_leq(self, value: float) -> float:
+        """Estimated count of values ``<= value`` (bit-identical)."""
+        if value >= self._max:
+            self._record_probes(0)
+            return float(self._total)
+        if value < self._min:
+            self._record_probes(0)
+            return 0.0
+        j, probes = self._search_separators(value)
+        self._probes += probes
+        below = float(self._prefix[j])
+        lo, hi = float(self._bounds[j]), float(self._bounds[j + 1])
+        bucket_count = float(self._counts[j])
+        eq_at_hi = float(self._eq_counts[j]) if j < self._k - 1 else 0.0
+        if value >= hi:
+            inside = bucket_count
+        elif hi > lo:
+            range_mass = max(0.0, bucket_count - eq_at_hi)
+            inside = range_mass * (value - lo) / (hi - lo)
+        else:
+            inside = 0.0
+        self._record_probes(probes)
+        return below + inside
+
+    def estimate_lt(self, value: float) -> float:
+        """Estimated count of values strictly ``< value`` (bit-identical)."""
+        if value > self._max:
+            self._record_probes(0)
+            return float(self._total)
+        if value <= self._min:
+            self._record_probes(0)
+            return 0.0
+        j, probes = self._search_separators(value)
+        self._probes += probes
+        below = float(self._prefix[j])
+        lo, hi = float(self._bounds[j]), float(self._bounds[j + 1])
+        bucket_count = float(self._counts[j])
+        eq_at_hi = float(self._eq_counts[j]) if j < self._k - 1 else 0.0
+        range_mass = max(0.0, bucket_count - eq_at_hi)
+        if value >= hi:
+            inside = range_mass
+        elif hi > lo:
+            inside = range_mass * (value - lo) / (hi - lo)
+        else:
+            inside = 0.0
+        self._record_probes(probes)
+        return below + inside
+
+    def estimate_range(self, lo: float, hi: float) -> float:
+        """Estimated count in the closed range ``[lo, hi]`` (bit-identical)."""
+        if lo > hi:
+            raise ParameterError(f"need lo <= hi, got [{lo}, {hi}]")
+        return max(0.0, self.estimate_leq(hi) - self.estimate_lt(lo))
+
+    def estimate_quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (bit-identical).
+
+        Replaces the histogram's linear bucket walk with a binary search
+        over the prefix sums, then applies the identical in-bucket
+        interpolation expression.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"q must be in [0, 1], got {q}")
+        target = q * float(self._total)
+        j, probes = self._search_prefix(target)
+        self._probes += probes
+        count = float(self._counts[j])
+        cumulative = float(self._prefix[j])
+        lo, hi = float(self._bounds[j]), float(self._bounds[j + 1])
+        self._record_probes(probes)
+        if count <= 0 or hi <= lo:
+            return hi
+        eq_at_hi = float(self._eq_counts[j]) if j < self._k - 1 else 0.0
+        range_mass = max(0.0, count - eq_at_hi)
+        into_bucket = target - cumulative
+        if into_bucket >= range_mass:
+            return hi
+        if range_mass <= 0:
+            return hi
+        return lo + (hi - lo) * into_bucket / range_mass
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_probes(count: int) -> None:
+        """Publish one lookup's probe count (no-op when obs is off)."""
+        observe("repro_serve_index_probes", float(count))

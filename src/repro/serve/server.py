@@ -1,0 +1,444 @@
+"""The statistics server: synchronous core + asyncio JSON-lines front end.
+
+:class:`StatsServer` is the transport-free core — ``handle(request)``
+takes one protocol request (a dict) and returns one response (a dict).
+In-process callers (the load generator, the bench scenarios, tests) call
+it directly from any number of threads; the asyncio front end
+(:func:`serve_forever`) wraps it in a JSON-lines-over-TCP loop, running
+handlers in worker threads so a slow ANALYZE never stalls the event loop.
+
+Determinism: every ANALYZE executed by the server draws its RNG from
+``(server seed, table name, column name, build number)`` — *not* from
+request arrival order — so the statistics that end up in the catalog are a
+pure function of the request multiset.  That is what makes the load
+generator's logical summaries bit-identical across client counts.
+
+Degraded-mode serving: when admission control sheds a build, the server
+answers from the last-known-good bundle (cache or catalog) flagged
+``degraded``, mirroring :func:`repro.engine.resilience.build_or_fallback`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import zlib
+
+import numpy as np
+
+from ..durability import CatalogStore
+from ..engine.maintenance import AutoStatistics, RefreshPolicy
+from ..engine.statistics import ColumnStatistics, StatisticsManager
+from ..engine.table import Table
+from ..exceptions import ReproError, StatisticsNotFoundError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .admission import AdmissionController, AdmissionDecision
+from .cache import CacheEntry, StatsCache
+from .protocol import SHUTDOWN_OP, ProtocolError, validate_request
+
+__all__ = ["ServerOverloadError", "StatsServer", "serve_forever"]
+
+#: Build parameters used for cold builds triggered by estimate endpoints
+#: (an explicit ``analyze`` request can override any of them via `params`).
+DEFAULT_BUILD_PARAMS: dict = {"k": 64, "f": 0.1, "gamma": 0.05}
+
+
+class ServerOverloadError(ReproError):
+    """Build shed by admission control with no last-known-good to serve."""
+
+
+class StatsServer:
+    """Multi-tenant statistics server over a set of in-memory tables.
+
+    Parameters
+    ----------
+    tables:
+        Mapping of table name to :class:`~repro.engine.table.Table`; more
+        can be registered later with :meth:`add_table`.
+    seed:
+        Root seed for every server-side ANALYZE (see module docstring).
+    cache_capacity:
+        LRU capacity (columns) of the serving cache.
+    policy:
+        Staleness policy forwarded to :class:`AutoStatistics`.
+    admission:
+        Admission controller for ANALYZE builds (default: 2 in-flight,
+        queue of 8).
+    store:
+        Optional :class:`~repro.durability.CatalogStore` (or a directory
+        path for one).  Statistics are then journaled crash-safely and the
+        server **warm-starts**: bundles recovered from the store serve
+        immediately, no rebuild needed.
+    build_params:
+        Default ANALYZE parameters for cold builds (merged under
+        :data:`DEFAULT_BUILD_PARAMS`).
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, Table] | None = None,
+        *,
+        seed: int = 0,
+        cache_capacity: int = 128,
+        policy: RefreshPolicy | None = None,
+        admission: AdmissionController | None = None,
+        store: CatalogStore | str | None = None,
+        build_params: dict | None = None,
+    ):
+        """Wire the engine stack (catalog → manager → autostats → cache)."""
+        self.seed = int(seed)
+        self.store = None
+        if store is not None:
+            self.store = (
+                store if isinstance(store, CatalogStore)
+                else CatalogStore(store)
+            )
+        manager = StatisticsManager(
+            catalog=self.store.catalog if self.store is not None else None
+        )
+        self.auto = AutoStatistics(manager, policy)
+        self.cache = StatsCache(self.auto, capacity=cache_capacity)
+        self.admission = admission or AdmissionController()
+        self.tables: dict[str, Table] = dict(tables or {})
+        self.build_params = dict(DEFAULT_BUILD_PARAMS)
+        self.build_params.update(build_params or {})
+        self.request_counts: dict[str, int] = {}
+        self.degraded_served = 0
+        self._counts_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        """Register *table* for serving (replaces any same-named table)."""
+        self.tables[table.name] = table
+
+    def _table(self, name: str) -> Table:
+        """Resolve a table name or raise the protocol's not-found error."""
+        table = self.tables.get(name)
+        if table is None:
+            raise StatisticsNotFoundError(
+                f"unknown table {name!r}; serving: {sorted(self.tables)}"
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # Deterministic build RNG
+    # ------------------------------------------------------------------
+
+    def _build_rng(self, table_name: str, column_name: str) -> np.random.Generator:
+        """RNG for the *next* build of one column.
+
+        Seeded by ``(seed, crc32(table), crc32(column), build#)`` where
+        ``build#`` is the catalog version the build will create — a pure
+        function of how many builds preceded it on this column, never of
+        which client or thread triggered it.
+        """
+        version = self.auto.manager.catalog.version(table_name, column_name)
+        return np.random.default_rng(
+            [
+                self.seed,
+                zlib.crc32(table_name.encode()),
+                zlib.crc32(column_name.encode()),
+                version + 1,
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, request: object) -> dict:
+        """Answer one protocol request; never raises on bad input.
+
+        Thread-safe: the TCP front end and the load generator call this
+        from many threads concurrently.
+        """
+        try:
+            op, fields = validate_request(request)
+        except ProtocolError as exc:
+            return {
+                "ok": False, "op": None,
+                "error": str(exc), "code": "ProtocolError",
+            }
+        self._count(op)
+        with _trace.span("serve.request", op=op) as span:
+            try:
+                result = self._dispatch(op, fields)
+            except ReproError as exc:
+                span.set(outcome="error")
+                return {
+                    "ok": False, "op": op,
+                    "error": str(exc), "code": type(exc).__name__,
+                }
+            span.set(outcome="ok")
+            return {"ok": True, "op": op, "result": result}
+
+    def _count(self, op: str) -> None:
+        """Bump the per-endpoint request counters (plain + metric)."""
+        with self._counts_lock:
+            self.request_counts[op] = self.request_counts.get(op, 0) + 1
+        _metrics.inc("repro_serve_requests_total", endpoint=op)
+
+    def _dispatch(self, op: str, fields: dict) -> dict:
+        """Route a validated request to its endpoint implementation."""
+        if op == "ping":
+            return {"pong": True}
+        if op == "status":
+            return self.status()
+        if op == "modify":
+            self.auto.record_modifications(
+                fields["table"], fields["column"], fields["rows"]
+            )
+            return {"recorded": fields["rows"]}
+        if op == "analyze":
+            return self._handle_analyze(fields)
+        return self._handle_estimate(op, fields)
+
+    # -- ANALYZE -------------------------------------------------------
+
+    def _handle_analyze(self, fields: dict) -> dict:
+        """Admission-controlled explicit ANALYZE."""
+        table = self._table(fields["table"])
+        column = fields["column"]
+        params = dict(self.build_params)
+        params.update(fields.get("params") or {})
+        with self.admission.slot() as decision:
+            if decision == AdmissionDecision.SHED:
+                return self._degraded_answer(table.name, column)
+            stats = self._build(table, column, params)
+        entry = self.cache.install(stats)
+        return {
+            "summary": stats.summary(),
+            "n": stats.n,
+            "k": stats.histogram.k,
+            "pages_read": stats.pages_read,
+            "version": entry.version,
+            "degraded": stats.degraded,
+            "admission": decision,
+        }
+
+    def _build(self, table: Table, column: str, params: dict) -> ColumnStatistics:
+        """Run one ANALYZE while holding an admission slot."""
+        with _trace.span("serve.build", table=table.name, column=column):
+            return self.auto.analyze(
+                table, column, rng=self._build_rng(table.name, column),
+                **params,
+            )
+
+    def _degraded_answer(self, table_name: str, column: str) -> dict:
+        """Shed path: last-known-good bundle or an overload error."""
+        entry = self.cache.peek(table_name, column)
+        stats = entry.statistics if entry is not None else None
+        if stats is None:
+            try:
+                stats = self.auto.manager.statistics(table_name, column)
+            except StatisticsNotFoundError:
+                raise ServerOverloadError(
+                    f"build of {table_name}.{column} shed by admission "
+                    "control and no previous statistics exist"
+                ) from None
+        with self._counts_lock:
+            self.degraded_served += 1
+        _metrics.inc("repro_serve_degraded_total")
+        return {
+            "summary": stats.summary(),
+            "n": stats.n,
+            "k": stats.histogram.k,
+            "pages_read": 0,
+            "version": self.auto.manager.catalog.version(table_name, column),
+            "degraded": True,
+            "admission": AdmissionDecision.SHED,
+        }
+
+    # -- Estimates -----------------------------------------------------
+
+    def _serving_entry(self, table: Table, column: str) -> CacheEntry:
+        """The serving bundle, cold-building (through admission) if needed."""
+        rng = self._build_rng(table.name, column)
+        try:
+            return self.cache.lookup(table, column, rng=rng)
+        except StatisticsNotFoundError:
+            pass
+        with self.admission.slot() as decision:
+            if decision == AdmissionDecision.SHED:
+                # No previous build can exist (lookup just failed), so the
+                # degraded path reduces to the overload error.
+                raise ServerOverloadError(
+                    f"cold build of {table.name}.{column} shed by "
+                    "admission control"
+                )
+            try:
+                stats = self.auto.manager.statistics(table.name, column)
+            except StatisticsNotFoundError:
+                stats = self._build(table, column, dict(self.build_params))
+        return self.cache.install(stats)
+
+    def _handle_estimate(self, op: str, fields: dict) -> dict:
+        """Answer one estimate endpoint from the serving bundle."""
+        table = self._table(fields["table"])
+        column = fields["column"]
+        entry = self._serving_entry(table, column)
+        stats = entry.statistics
+        if stats.degraded:
+            with self._counts_lock:
+                self.degraded_served += 1
+            _metrics.inc("repro_serve_degraded_total")
+        if op == "estimate_range":
+            lo, hi = float(fields["lo"]), float(fields["hi"])
+            rows = entry.index.estimate_range(lo, hi)
+            scale = (
+                table.num_rows / entry.index.total
+                if entry.index.total else 0.0
+            )
+            scaled = rows * scale
+            return self._estimate_result(stats, entry, rows=scaled)
+        if op == "estimate_equality":
+            return self._estimate_result(
+                stats, entry, rows=stats.estimate_equality(float(fields["value"]))
+            )
+        if op == "estimate_quantile":
+            return self._estimate_result(
+                stats, entry, value=entry.index.estimate_quantile(float(fields["q"]))
+            )
+        if op == "estimate_distinct":
+            return self._estimate_result(
+                stats, entry, distinct=float(stats.distinct_estimate)
+            )
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _estimate_result(
+        stats: ColumnStatistics, entry: CacheEntry, **payload
+    ) -> dict:
+        """Common envelope for estimate responses."""
+        payload.update(
+            {
+                "method": stats.method,
+                "version": entry.version,
+                "degraded": stats.degraded,
+            }
+        )
+        return payload
+
+    # -- Status --------------------------------------------------------
+
+    def status(self) -> dict:
+        """Deterministic server snapshot (no clocks, no memory addresses)."""
+        with self._counts_lock:
+            requests = dict(sorted(self.request_counts.items()))
+            degraded = self.degraded_served
+        return {
+            "tables": sorted(self.tables),
+            "columns": {
+                name: sorted(table.column_names)
+                for name, table in sorted(self.tables.items())
+            },
+            "catalog_columns": len(self.auto.manager.catalog),
+            "cached_columns": len(self.cache),
+            "cache": self.cache.counters(),
+            "admission": self.admission.counters(),
+            "requests": requests,
+            "degraded_served": degraded,
+            "seed": self.seed,
+            "durable": self.store is not None,
+        }
+
+    def checkpoint(self) -> None:
+        """Flush the durable store (no-op for in-memory catalogs)."""
+        if self.store is not None:
+            self.store.checkpoint()
+
+
+# ----------------------------------------------------------------------
+# asyncio front end
+# ----------------------------------------------------------------------
+
+
+async def _client_loop(
+    server: StatsServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    stop: asyncio.Event,
+) -> None:
+    """Serve one TCP client: JSON request per line, JSON response per line."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except ValueError:
+                response: dict = {
+                    "ok": False, "op": None,
+                    "error": "request is not valid JSON",
+                    "code": "ProtocolError",
+                }
+            else:
+                if (
+                    isinstance(request, dict)
+                    and request.get("op") == SHUTDOWN_OP
+                ):
+                    writer.write(_encode({"ok": True, "op": SHUTDOWN_OP,
+                                          "result": {"stopping": True}}))
+                    await writer.drain()
+                    stop.set()
+                    break
+                response = await asyncio.to_thread(server.handle, request)
+            writer.write(_encode(response))
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # client vanished mid-close
+            pass
+
+
+def _encode(response: dict) -> bytes:
+    """One byte-stable JSON line (sorted keys, no whitespace variance)."""
+    return (
+        json.dumps(response, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+async def _serve_async(
+    server: StatsServer, host: str, port: int, ready_path: str | None
+) -> None:
+    """Accept loop: runs until a shutdown op arrives."""
+    stop = asyncio.Event()
+
+    async def _on_connect(reader, writer):
+        """Spawn the per-client loop for one accepted connection."""
+        await _client_loop(server, reader, writer, stop)
+
+    tcp = await asyncio.start_server(_on_connect, host=host, port=port)
+    bound = tcp.sockets[0].getsockname()
+    announce = f"SERVE_READY {bound[0]} {bound[1]}"
+    print(announce, flush=True)
+    if ready_path is not None:
+        from ..durability import atomic_write_text
+
+        atomic_write_text(ready_path, announce + "\n")
+    async with tcp:
+        await stop.wait()
+    server.checkpoint()
+
+
+def serve_forever(
+    server: StatsServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_path: str | None = None,
+) -> None:
+    """Run the TCP front end until a client sends the shutdown op.
+
+    ``port=0`` binds an ephemeral port; the bound address is printed as
+    ``SERVE_READY <host> <port>`` (and written to *ready_path*, atomically,
+    when given) so scripts can discover it.
+    """
+    asyncio.run(_serve_async(server, host, port, ready_path))

@@ -105,3 +105,68 @@ class TestAutoStatistics:
         auto.record_modifications("t", "x", 5_000)
         auto.analyze(table, "x", k=10, f=0.3, rng=6)
         assert not auto.is_stale("t", "x")
+
+
+class TestSingleFlightRefresh:
+    """Concurrent stale readers trigger exactly one rebuild per column."""
+
+    def test_concurrent_misses_build_once(self, monkeypatch):
+        import threading
+
+        from repro.engine import maintenance
+
+        table = Table("t", {"x": np.arange(20_000)})
+        auto = AutoStatistics(
+            policy=RefreshPolicy(fraction=0.2, floor_rows=100)
+        )
+        auto.analyze(table, "x", k=10, f=0.3, rng=0)
+        auto.record_modifications("t", "x", 5_000)
+
+        builds = []
+        both_stale = threading.Barrier(2, timeout=5.0)
+        real = maintenance.build_or_fallback
+
+        def slow_build(*args, **kwargs):
+            # Hold the flight lock long enough that the other reader is
+            # guaranteed to pass its pre-lock staleness check and block on
+            # the lock; losing single-flight would then build twice.
+            import time
+
+            builds.append(threading.get_ident())
+            time.sleep(0.1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(maintenance, "build_or_fallback", slow_build)
+
+        results, errors = [], []
+
+        def reader(rng_seed):
+            try:
+                both_stale.wait()
+                results.append(auto.ensure_fresh(table, "x", rng=rng_seed))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,)) for seed in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert not errors
+        assert len(builds) == 1, f"expected one build, got {len(builds)}"
+        assert auto.refresh_count == 1
+        assert len(results) == 2
+        # The waiter sees the rebuilt (not the stale) bundle.
+        versions = {auto.manager.catalog.version("t", "x")}
+        assert versions == {2}
+        assert not auto.is_stale("t", "x")
+
+    def test_per_column_locks_are_independent(self):
+        auto = AutoStatistics()
+        lock_a = auto._flight_lock("t", "x")
+        lock_b = auto._flight_lock("t", "y")
+        assert lock_a is not lock_b
+        assert auto._flight_lock("t", "x") is lock_a

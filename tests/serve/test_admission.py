@@ -1,0 +1,96 @@
+"""AdmissionController: bounded in-flight builds, bounded queue, shed."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.serve import AdmissionController, AdmissionDecision
+
+
+class TestDecisions:
+    def test_free_slot_is_admitted(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        assert controller.try_acquire() == AdmissionDecision.ADMITTED
+        assert controller.inflight == 1
+        controller.release()
+        assert controller.inflight == 0
+
+    def test_full_slots_and_queue_shed(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.try_acquire()
+        assert controller.try_acquire() == AdmissionDecision.SHED
+        controller.release()
+        assert controller.counters() == {
+            "admitted": 1, "queued": 0, "shed": 1,
+        }
+
+    def test_queue_timeout_sheds(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=1, timeout=0.05
+        )
+        controller.try_acquire()
+        assert controller.try_acquire() == AdmissionDecision.SHED
+        controller.release()
+        assert controller.counters()["shed"] == 1
+
+    def test_queued_caller_runs_after_release(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=1, timeout=10.0
+        )
+        controller.try_acquire()
+        decisions = []
+        waiting = threading.Event()
+
+        def queued_caller():
+            waiting.set()
+            decisions.append(controller.try_acquire())
+            controller.release()
+
+        thread = threading.Thread(target=queued_caller)
+        thread.start()
+        assert waiting.wait(timeout=5.0)
+        controller.release()
+        thread.join(timeout=5.0)
+        assert decisions == [AdmissionDecision.QUEUED]
+        assert controller.counters() == {
+            "admitted": 1, "queued": 1, "shed": 0,
+        }
+
+    def test_release_without_slot_rejected(self):
+        with pytest.raises(ParameterError):
+            AdmissionController().release()
+
+
+class TestSlotContextManager:
+    def test_slot_releases_on_exit(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        with controller.slot() as decision:
+            assert decision == AdmissionDecision.ADMITTED
+            assert controller.inflight == 1
+        assert controller.inflight == 0
+
+    def test_shed_slot_releases_nothing(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.try_acquire()
+        with controller.slot() as decision:
+            assert decision == AdmissionDecision.SHED
+        assert controller.inflight == 1  # the held slot is untouched
+        controller.release()
+
+    def test_slot_releases_on_exception(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with controller.slot():
+                raise RuntimeError("build blew up")
+        assert controller.inflight == 0
+
+
+class TestValidation:
+    def test_limits_validated(self):
+        with pytest.raises(ParameterError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ParameterError):
+            AdmissionController(max_queue=-1)

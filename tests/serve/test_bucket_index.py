@@ -1,0 +1,160 @@
+"""BucketIndex: bit-identity with the linear histogram scans, O(log k).
+
+The index's contract has two halves: every estimator returns the **same
+bits** as :class:`~repro.core.histogram.EquiHeightHistogram`'s linear
+implementation, and it gets there in O(log k) separator/prefix probes.
+Hypothesis drives the equivalence half over zipf-like, duplicate-heavy
+uniform, and degenerate (single-value) columns; the probe half is an
+explicit count assertion at large k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import EquiHeightHistogram
+from repro.exceptions import ParameterError
+from repro.serve import BucketIndex
+
+# Duplicate-heavy uniform: narrow domain forces repeated values, which
+# exercises the eq_counts / separator-tie paths.
+unif_dup_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=300),
+    elements=st.integers(min_value=0, max_value=20),
+)
+
+# Zipf-like skew without randomness inside the strategy: wide-domain
+# integers squared concentrate mass near zero like a heavy-tailed draw.
+skew_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=300),
+    elements=st.integers(min_value=-100, max_value=100),
+).map(lambda a: a * np.abs(a))
+
+# Degenerate: every value identical (zero-width buckets everywhere).
+degenerate_arrays = st.integers(min_value=-5, max_value=5).flatmap(
+    lambda v: st.integers(min_value=1, max_value=50).map(
+        lambda n: np.full(n, v, dtype=np.int64)
+    )
+)
+
+column_arrays = st.one_of(unif_dup_arrays, skew_arrays, degenerate_arrays)
+
+
+def _probe_points(values: np.ndarray) -> list[float]:
+    """Interesting probe values: data points, midpoints, and outside."""
+    lo, hi = float(values.min()), float(values.max())
+    inside = [float(v) for v in np.unique(values)[:20]]
+    mids = [(a + b) / 2 for a, b in zip(inside, inside[1:])]
+    return inside + mids + [lo - 1.0, hi + 1.0, (lo + hi) / 2]
+
+
+class TestBitIdentity:
+    """Every estimator reproduces the linear scan bit-for-bit."""
+
+    @given(values=column_arrays, k=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=150, deadline=None)
+    def test_leq_lt_match_linear_scan(self, values, k):
+        hist = EquiHeightHistogram.from_values(values, k)
+        index = BucketIndex(hist)
+        for value in _probe_points(values):
+            assert index.estimate_leq(value) == hist.estimate_leq(value)
+            assert index.estimate_lt(value) == hist.estimate_lt(value)
+            assert index.bucket_index(value) == hist.bucket_index(value)
+
+    @given(values=column_arrays, k=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=150, deadline=None)
+    def test_range_matches_linear_scan(self, values, k):
+        hist = EquiHeightHistogram.from_values(values, k)
+        index = BucketIndex(hist)
+        points = _probe_points(values)
+        for lo, hi in zip(points, points[1:]):
+            lo, hi = min(lo, hi), max(lo, hi)
+            assert index.estimate_range(lo, hi) == hist.estimate_range(lo, hi)
+
+    @given(
+        values=column_arrays,
+        k=st.integers(min_value=1, max_value=48),
+        quantiles=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_matches_linear_walk(self, values, k, quantiles):
+        hist = EquiHeightHistogram.from_values(values, k)
+        index = BucketIndex(hist)
+        for q in quantiles + [0.0, 0.5, 1.0]:
+            assert index.estimate_quantile(q) == hist.estimate_quantile(q)
+
+    def test_total_and_k_mirror_histogram(self):
+        values = np.arange(1000, dtype=np.int64) % 37
+        hist = EquiHeightHistogram.from_values(values, 16)
+        index = BucketIndex(hist)
+        assert index.total == hist.total
+        assert index.k == hist.k
+
+
+class TestValidation:
+    """Parameter errors match the histogram's contracts."""
+
+    def test_rejects_inverted_range(self):
+        index = BucketIndex(
+            EquiHeightHistogram.from_values(np.arange(100), 8)
+        )
+        with pytest.raises(ParameterError):
+            index.estimate_range(5.0, 1.0)
+
+    def test_rejects_quantile_outside_unit_interval(self):
+        index = BucketIndex(
+            EquiHeightHistogram.from_values(np.arange(100), 8)
+        )
+        with pytest.raises(ParameterError):
+            index.estimate_quantile(1.5)
+
+
+class TestProbeComplexity:
+    """Lookups cost O(log k) probes, observable via the probe counter."""
+
+    @pytest.mark.parametrize("k", [256, 1024, 4096])
+    def test_probes_per_lookup_logarithmic(self, k):
+        values = np.arange(k * 8, dtype=np.int64)
+        index = BucketIndex(EquiHeightHistogram.from_values(values, k))
+        rng = np.random.default_rng(0)
+        lookups = 500
+        for v in rng.uniform(values.min(), values.max(), lookups):
+            index.estimate_leq(float(v))
+        for q in rng.random(lookups):
+            index.estimate_quantile(float(q))
+        per_lookup = index.probes / (2 * lookups)
+        # A binary search over k separators makes at most ceil(log2 k) + 1
+        # comparisons; allow one more for boundary slack.
+        assert per_lookup <= math.ceil(math.log2(k)) + 2, (
+            f"k={k}: {per_lookup:.1f} probes/lookup is not O(log k)"
+        )
+
+    def test_probe_counter_grows_with_lookups(self):
+        index = BucketIndex(
+            EquiHeightHistogram.from_values(np.arange(4096), 512)
+        )
+        assert index.probes == 0
+        index.estimate_leq(17.0)
+        first = index.probes
+        assert first > 0
+        index.estimate_leq(17.0)
+        assert index.probes == 2 * first
+
+    def test_clamped_probes_cost_nothing(self):
+        """Out-of-domain probes short-circuit without touching the tree."""
+        index = BucketIndex(
+            EquiHeightHistogram.from_values(np.arange(100), 8)
+        )
+        index.estimate_leq(1e9)
+        index.estimate_lt(-1e9)
+        assert index.probes == 0

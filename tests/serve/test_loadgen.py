@@ -1,0 +1,143 @@
+"""LoadGenerator: bit-identical logical summaries across runs and clients."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.engine.maintenance import RefreshPolicy
+from repro.exceptions import ParameterError
+from repro.serve import LoadGenerator, LoadProfile, StatsServer
+from repro.serve.loadgen import percentile
+
+
+def _server(seed=9):
+    return StatsServer(
+        {
+            "orders": Table("orders", {"value": np.arange(20_000) % 997}),
+            "parts": Table("parts", {"value": np.arange(10_000)}),
+        },
+        seed=seed,
+        policy=RefreshPolicy(fraction=0.2, floor_rows=100),
+        build_params={"k": 8, "f": 0.3},
+    )
+
+
+def _run(clients, churn_rows=0, requests=120, seed=1):
+    profile = LoadProfile(
+        requests=requests, clients=clients, seed=seed, churn_rows=churn_rows
+    )
+    return LoadGenerator(server=_server(), profile=profile).run()
+
+
+class TestDeterminism:
+    def test_logical_identical_across_runs(self):
+        first = _run(clients=2)
+        second = _run(clients=2)
+        assert first["logical"] == second["logical"]
+
+    @pytest.mark.parametrize("clients", [2, 5])
+    def test_logical_identical_across_client_counts(self, clients):
+        base = json.dumps(_run(clients=1)["logical"], sort_keys=True)
+        other = json.dumps(_run(clients=clients)["logical"], sort_keys=True)
+        assert base == other
+
+    def test_logical_identical_across_clients_with_churn(self):
+        base = _run(clients=1, churn_rows=5_000)["logical"]
+        other = _run(clients=3, churn_rows=5_000)["logical"]
+        assert base == other
+
+    def test_seed_changes_schedule(self):
+        assert (
+            _run(clients=1, seed=1)["logical"]["checksums"]
+            != _run(clients=1, seed=2)["logical"]["checksums"]
+        )
+
+
+class TestPhases:
+    def test_warmup_builds_every_column(self):
+        summary = _run(clients=2)
+        logical = summary["logical"]
+        assert logical["columns"] == 2
+        assert logical["requests"]["analyze"] == 2
+        assert logical["builds"]["warmup_pages_read"] > 0
+        assert logical["errors"] == 0
+
+    def test_churn_triggers_one_refresh_per_column(self):
+        logical = _run(clients=2, churn_rows=5_000)["logical"]
+        assert logical["requests"]["modify"] == 2
+        assert logical["builds"]["refreshes"] == 2
+        assert logical["builds"]["degraded_served"] == 0
+
+    def test_no_churn_no_refresh(self):
+        logical = _run(clients=2)["logical"]
+        assert logical["builds"]["refreshes"] == 0
+
+    def test_request_totals_cover_schedule(self):
+        logical = _run(clients=3, requests=90)["logical"]
+        concurrent = sum(
+            count
+            for op, count in logical["requests"].items()
+            if op.startswith("estimate_")
+        )
+        # 90 scheduled + 2x2 warmup quantile probes.
+        assert concurrent == 90 + 4
+
+    def test_wall_section_present_but_unstable(self):
+        summary = _run(clients=2)
+        wall = summary["wall"]
+        assert wall["requests_timed"] == 120
+        assert wall["p50_s"] <= wall["p99_s"] <= wall["max_s"]
+
+
+class TestSchedule:
+    def test_schedule_is_pure_function_of_seed(self):
+        generator = LoadGenerator(
+            server=_server(), profile=LoadProfile(requests=50, seed=3)
+        )
+        assert generator.schedule(2) == generator.schedule(2)
+        assert generator.schedule(2) != generator.schedule(3)
+
+    def test_dealing_partitions_schedule(self):
+        generator = LoadGenerator(
+            server=_server(), profile=LoadProfile(requests=50, clients=4)
+        )
+        schedule = generator.schedule(2)
+        dealt = [schedule[w::4] for w in range(4)]
+        assert sorted(x for part in dealt for x in part) == sorted(schedule)
+
+
+class TestValidation:
+    def test_profile_rejects_bad_counts(self):
+        with pytest.raises(ParameterError):
+            LoadProfile(requests=-1)
+        with pytest.raises(ParameterError):
+            LoadProfile(clients=0)
+        with pytest.raises(ParameterError):
+            LoadProfile(churn_rows=-5)
+
+    def test_profile_rejects_unknown_mix(self):
+        with pytest.raises(ParameterError):
+            LoadProfile(mix=(("drop_table", 1.0),))
+
+    def test_generator_needs_exactly_one_transport(self):
+        with pytest.raises(ParameterError):
+            LoadGenerator()
+        with pytest.raises(ParameterError):
+            LoadGenerator(server=_server(), address=("h", 1))
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        xs = [float(x) for x in range(1, 11)]
+        assert percentile(xs, 0.50) == 5.0
+        assert percentile(xs, 0.99) == 10.0
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            percentile([1.0], 1.5)

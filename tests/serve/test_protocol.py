@@ -1,0 +1,93 @@
+"""Protocol validation: the declared endpoint table is enforced literally."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ENDPOINTS, ProtocolError, validate_request
+from repro.serve.protocol import OPTIONAL_FIELDS, SHUTDOWN_OP
+
+
+class TestValidRequests:
+    def test_every_endpoint_validates_with_sample_fields(self):
+        samples = {str: "name", int: 3, (int, float): 1.5}
+        for name, spec in ENDPOINTS.items():
+            request = {"op": name}
+            for field, types in spec.fields.items():
+                request[field] = samples[types]
+            op, fields = validate_request(request)
+            assert op == name
+            assert set(fields) == set(spec.fields)
+
+    def test_optional_params_passed_through(self):
+        op, fields = validate_request(
+            {"op": "analyze", "table": "t", "column": "x",
+             "params": {"k": 32}}
+        )
+        assert op == "analyze"
+        assert fields["params"] == {"k": 32}
+
+    def test_optional_params_omittable(self):
+        _, fields = validate_request(
+            {"op": "analyze", "table": "t", "column": "x"}
+        )
+        assert "params" not in fields
+
+    def test_int_accepted_where_float_declared(self):
+        _, fields = validate_request(
+            {"op": "estimate_quantile", "table": "t", "column": "x", "q": 1}
+        )
+        assert fields["q"] == 1
+
+
+class TestRejection:
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request(["op", "ping"])
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"table": "t"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "drop_table"})
+
+    def test_shutdown_is_not_an_endpoint(self):
+        """The transport-level shutdown op bypasses the endpoint table."""
+        assert SHUTDOWN_OP not in ENDPOINTS
+        with pytest.raises(ProtocolError):
+            validate_request({"op": SHUTDOWN_OP})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError, match="requires field"):
+            validate_request({"op": "estimate_range", "table": "t",
+                              "column": "x", "lo": 0.0})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_request({"op": "modify", "table": "t", "column": "x",
+                              "rows": "many"})
+
+    def test_bool_not_accepted_as_number(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_request({"op": "modify", "table": "t", "column": "x",
+                              "rows": True})
+
+    def test_wrong_optional_type_rejected(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_request({"op": "analyze", "table": "t", "column": "x",
+                              "params": [1, 2]})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unexpected fields"):
+            validate_request({"op": "ping", "extra": 1})
+
+
+class TestDeclarations:
+    def test_optional_fields_only_for_declared_endpoints(self):
+        assert set(OPTIONAL_FIELDS) <= set(ENDPOINTS)
+
+    def test_every_endpoint_has_help(self):
+        for spec in ENDPOINTS.values():
+            assert spec.help.strip()

@@ -135,6 +135,20 @@ SECTIONS = [
         ],
     ),
     (
+        "repro.serve — the statistics server",
+        "Multi-tenant ANALYZE/estimate serving: request protocol, LRU "
+        "serving cache, admission control, the O(log k) bucket index and "
+        "the deterministic load generator; see docs/SERVING.md.",
+        [
+            "repro.serve.protocol",
+            "repro.serve.bucket_index",
+            "repro.serve.cache",
+            "repro.serve.admission",
+            "repro.serve.server",
+            "repro.serve.loadgen",
+        ],
+    ),
+    (
         "repro.obs — observability",
         "Metrics registry, trace spans, exporters and the deterministic "
         "benchmark harness; see docs/OBSERVABILITY.md for the full catalog.",
