@@ -1,0 +1,149 @@
+"""Live telemetry: instrumented request path stays near the baseline p99.
+
+The ``repro.serve`` telemetry layer (docs/TELEMETRY.md) promises to be
+cheap enough to leave on: per request it pays one logical-clock tick, one
+sketch bucket increment, and a couple of ring-buffer records, all under a
+leaf lock.  This benchmark drives the identical deterministic loadgen
+workload against a telemetry-off and a telemetry-on
+:class:`~repro.serve.StatsServer` and gates the instrumented per-request
+p99 against the uninstrumented one.
+
+The gate is deliberately generous — ``p99_on <= 5 * p99_off + 1ms`` —
+because at smoke scale a request is tens of microseconds and absolute
+jitter dominates; what the gate catches is a structural regression (a
+build or an O(n) scan sneaking onto the per-request path), not scheduler
+noise.  The logical halves of the two summaries must still match
+byte-for-byte — the RNG-inert contract re-proved alongside the timing.
+Results land in ``benchmarks/results/telemetry_overhead.txt``.  Set
+``REPRO_ASSERT_SPEEDUP=0`` to disable the assertion (same escape hatch as
+the other wall gates).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from _emit import emit_json
+from conftest import run_once
+
+from repro.engine import Table
+from repro.experiments import reporting
+from repro.experiments.config import get_scale
+from repro.serve import LoadGenerator, LoadProfile, StatsServer
+from repro.workloads.datasets import make_dataset
+
+#: Loadgen runs per mode; per-request p50/p99 keep the best (minimum) run.
+REPS = 3
+#: Requests per loadgen run (the figure scales size the table, not QPS).
+REQUESTS = 400
+#: The instrumented p99 may be at most this multiple of the baseline ...
+MAX_RATIO = 5.0
+#: ... plus this absolute floor, so microsecond-scale jitter cannot flake.
+FLOOR_S = 1e-3
+
+
+def _run_mode(values, scale, *, telemetry):
+    """Best-of-REPS loadgen runs against a fresh server; keep min p99."""
+    profile = LoadProfile(
+        requests=REQUESTS,
+        clients=2,
+        seed=23,
+        churn_rows=scale.n // 4 + 500,
+        analyze_params=(("k", scale.k),),
+    )
+    best = None
+    for _ in range(REPS):
+        server = StatsServer(
+            {"bench": Table("bench", {"value": values})},
+            seed=17,
+            build_params={"k": scale.k},
+            telemetry=telemetry,
+        )
+        summary = LoadGenerator(server=server, profile=profile).run()
+        if best is None or summary["wall"]["p99_s"] < best["wall"]["p99_s"]:
+            best = summary
+    return best
+
+
+def _measure(values, scale):
+    off = _run_mode(values, scale, telemetry=False)
+    on = _run_mode(values, scale, telemetry=True)
+    return {
+        "off_p50_s": off["wall"]["p50_s"],
+        "off_p99_s": off["wall"]["p99_s"],
+        "on_p50_s": on["wall"]["p50_s"],
+        "on_p99_s": on["wall"]["p99_s"],
+        "logical_identical": (
+            json.dumps(off["logical"], sort_keys=True)
+            == json.dumps(on["logical"], sort_keys=True)
+        ),
+        "requests": sum(off["logical"]["requests"].values()),
+    }
+
+
+def test_telemetry_overhead_stays_bounded(benchmark, report):
+    scale = get_scale()
+    values = make_dataset("zipf2", scale.n, rng=0).values
+    measured = run_once(benchmark, _measure, values, scale)
+
+    assert measured["logical_identical"], (
+        "telemetry changed the loadgen's logical summary — the RNG-inert "
+        "contract is broken"
+    )
+    budget = MAX_RATIO * measured["off_p99_s"] + FLOOR_S
+    ratio = (
+        measured["on_p99_s"] / measured["off_p99_s"]
+        if measured["off_p99_s"]
+        else float("inf")
+    )
+
+    rows = [
+        ["telemetry_off", measured["off_p50_s"], measured["off_p99_s"], 1.0],
+        ["telemetry_on", measured["on_p50_s"], measured["on_p99_s"], ratio],
+    ]
+    text = "\n".join(
+        [
+            reporting.paper_note(
+                "per-request live telemetry (sketch + windows + SLOs) adds "
+                "bounded overhead to the serving path and leaves the "
+                "logical summary byte-identical",
+                caveat=f"scale={scale.name} (n={scale.n}, k={scale.k}), "
+                f"~{REQUESTS} requests/run, best of {REPS} runs "
+                f"per mode, gate p99_on <= {MAX_RATIO:g}*p99_off + "
+                f"{FLOOR_S:g}s",
+            ),
+            "",
+            reporting.format_table(
+                ["mode", "p50_s", "p99_s", "p99_vs_off"], rows
+            ),
+        ]
+    )
+    report("telemetry_overhead", text)
+    emit_json(
+        "telemetry_overhead",
+        {
+            "params": {
+                "scale": scale.name,
+                "n": scale.n,
+                "k": scale.k,
+                "requests": measured["requests"],
+                "reps": REPS,
+                "max_ratio": MAX_RATIO,
+                "floor_s": FLOOR_S,
+            },
+            "off_p50_s": measured["off_p50_s"],
+            "off_p99_s": measured["off_p99_s"],
+            "on_p50_s": measured["on_p50_s"],
+            "on_p99_s": measured["on_p99_s"],
+            "p99_ratio": ratio,
+            "logical_identical": measured["logical_identical"],
+        },
+    )
+
+    if os.environ.get("REPRO_ASSERT_SPEEDUP", "1") != "0":
+        assert measured["on_p99_s"] <= budget, (
+            f"telemetry-on p99 {measured['on_p99_s']:.6f}s exceeds "
+            f"{MAX_RATIO:g}x baseline + {FLOOR_S:g}s "
+            f"(= {budget:.6f}s; baseline {measured['off_p99_s']:.6f}s)"
+        )

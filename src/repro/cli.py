@@ -34,8 +34,10 @@ Four subcommands expose the library to shell users:
 ``metrics``
     Observability wrapper: run any other subcommand with the
     :mod:`repro.obs` metrics registry collecting, then dump the registry
-    (``--format text|json``, optionally ``--out FILE``) after the wrapped
-    command finishes.  Example: ``python -m repro metrics demo zipf2``.
+    (``--format text|json|prom``, optionally ``--out FILE``) after the
+    wrapped command finishes.  ``prom`` is the strict Prometheus text
+    exposition (cumulative buckets, ``+Inf``, escaped labels).  Example:
+    ``python -m repro metrics demo zipf2``.
 
 ``bench``
     Deterministic benchmark harness (:mod:`repro.obs.bench`): run the
@@ -59,8 +61,18 @@ Four subcommands expose the library to shell users:
     running one (``--connect HOST:PORT``).  The loadgen's logical summary
     (``--out``) is bit-identical across runs and ``--clients`` counts;
     wall latencies (p50/p99) go to stdout / ``--wall-out``.  ``--store
-    DIR`` persists the catalog crash-safely and warm-starts from it.  See
-    docs/SERVING.md.
+    DIR`` persists the catalog crash-safely and warm-starts from it.
+    ``--telemetry`` enables live runtime telemetry (latency sketch,
+    windowed series, SLO tracking) behind the ``stats`` / ``health`` /
+    ``watch`` endpoints.  See docs/SERVING.md.
+
+``top``
+    Terminal monitor for a running server (:mod:`repro.serve.monitor`):
+    poll the ``stats`` and ``health`` endpoints of ``--connect
+    HOST:PORT`` and render text frames (``--once`` for a single frame,
+    ``--interval`` seconds between frames otherwise); ``--out FILE``
+    writes the byte-stable logical snapshot of the last frame.  See
+    docs/TELEMETRY.md.
 
 ``figure``, ``chaos`` and ``bench`` additionally accept ``--trace FILE`` to
 record a structured span trace (JSON lines) of the run; see
@@ -468,6 +480,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE",
         help="record a span trace of the run (JSON lines)",
     )
+    serve.add_argument(
+        "--telemetry", action="store_true",
+        help="enable live runtime telemetry (latency sketch, windowed "
+             "series, SLO tracking) behind the stats/health/watch "
+             "endpoints",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="terminal monitor for a running statistics server",
+    )
+    top.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="address of the running server to monitor",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between frames (default 1.0)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after this many frames (default: until interrupted)",
+    )
+    top.add_argument(
+        "--out", metavar="FILE",
+        help="write the byte-stable logical telemetry snapshot of the "
+             "last frame to FILE",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -475,8 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
              "the registry",
     )
     metrics.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="exposition format for the dump (default text)",
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="exposition format for the dump (default text; 'prom' is "
+             "the strict Prometheus text exposition)",
     )
     metrics.add_argument(
         "--out", metavar="FILE",
@@ -1048,6 +1093,7 @@ def _cmd_serve(args) -> int:
             ),
             store=args.store,
             build_params={"k": args.k},
+            telemetry=args.telemetry,
         )
         if args.loadgen:
             profile = LoadProfile(
@@ -1063,6 +1109,34 @@ def _cmd_serve(args) -> int:
             ready_path=args.ready_file,
         )
         return 0
+
+
+def _cmd_top(args) -> int:
+    from .serve.monitor import run_top
+
+    try:
+        host, port_text = args.connect.rsplit(":", 1)
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: bad --connect {args.connect!r}; expected HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    if args.frames is not None and args.frames < 1:
+        print(
+            f"error: --frames must be >= 1, got {args.frames}",
+            file=sys.stderr,
+        )
+        return 2
+    code = run_top(
+        host, port,
+        once=args.once, interval=args.interval, frames=args.frames,
+        out=args.out,
+    )
+    if args.out:
+        print(f"logical snapshot written to {args.out}", file=sys.stderr)
+    return code
 
 
 def _cmd_metrics(args) -> int:
@@ -1083,11 +1157,12 @@ def _cmd_metrics(args) -> int:
         return 2
     with obs_metrics.collecting() as registry:
         code = main(wrapped)
-    rendered = (
-        obs_metrics.render_json(registry)
-        if args.format == "json"
-        else obs_metrics.render_text(registry)
-    )
+    renderers = {
+        "text": obs_metrics.render_text,
+        "json": obs_metrics.render_json,
+        "prom": obs_metrics.render_prom,
+    }
+    rendered = renderers[args.format](registry)
     if args.out:
         from .durability import atomic_write_text
 
@@ -1112,6 +1187,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "metrics": _cmd_metrics,
     }
     try:

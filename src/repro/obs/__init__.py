@@ -16,16 +16,24 @@ A zero-dependency subsystem the rest of the library reports into:
   RNG-inert logical costs, a baseline comparator, and cProfile hooks.
   Unlike its siblings it drives the library from above, so it is *not*
   imported here (that would cycle through storage); import it explicitly
-  as ``from repro.obs import bench``.
+  as ``from repro.obs import bench``;
+- :mod:`repro.obs.live` — **live telemetry primitives** (streaming
+  quantile sketch, windowed timeseries, SLO tracker) for long-running
+  processes such as the statistics server.  Like ``bench`` it drives the
+  library from above (it builds histograms and bucket indexes), so it is
+  *not* imported here; import it explicitly as
+  ``from repro.obs import live``.
 
 Everything is **off by default and cheap when off**: with no active
 registry or recorder, each hook is a single no-op call, and instrumentation
 never touches randomness — builds are bit-identical with observability on
 or off (a regression test enforces this).
 
-Layering note: ``obs`` sits *below* every other subpackage (it imports only
-:mod:`repro.exceptions`), precisely so that storage, sampling, core, engine
-and experiments can all report into it without cycles.
+Layering note: ``obs`` sits *below* every other subpackage (this package's
+``__init__`` pulls in modules that import only :mod:`repro.exceptions`),
+precisely so that storage, sampling, core, engine and experiments can all
+report into it without cycles.  The two from-above modules (``bench``,
+``live``) are the deliberate exceptions and stay out of this ``__init__``.
 
 Quick tour::
 

@@ -1143,6 +1143,132 @@ _register(
 )
 
 
+def _telemetry_sketch_setup(scale: BenchScale, seed: int) -> dict:
+    """A latency-like stream: the shared zipf2 column scaled into (0, 1]s."""
+    values, _ = _make_table(scale, seed)
+    return {"latencies": values.astype(float) / float(values.max())}
+
+
+def _telemetry_sketch_run(ctx: dict) -> dict:
+    """Sketch ingest + quantile queries, with a merge-order identity check.
+
+    The stream is folded serially and through four shards merged in two
+    different orders; all three exports must be byte-identical (the
+    mergeability contract of docs/TELEMETRY.md, re-proved per bench run).
+    Everything here is a pure function of the input stream, so the whole
+    result is logical.
+    """
+    from ..obs.live import StreamingQuantileSketch
+
+    latencies = ctx["latencies"]
+
+    def _sketch() -> StreamingQuantileSketch:
+        return StreamingQuantileSketch("serve_request_latency")
+
+    serial = _sketch()
+    for value in latencies.tolist():
+        serial.observe(value)
+
+    bounds = np.linspace(0, latencies.size, 5).astype(int)
+    shards = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        shard = _sketch()
+        for value in latencies[lo:hi].tolist():
+            shard.observe(value)
+        shards.append(shard)
+    forward = _sketch()
+    for shard in shards:
+        forward.merge(shard)
+    backward = _sketch()
+    for shard in reversed(shards):
+        backward.merge(shard)
+
+    exports = {serial.to_json(), forward.to_json(), backward.to_json()}
+    percentiles = serial.percentiles()
+    return {
+        "observations": serial.count,
+        "occupied_buckets": len(serial),
+        "merge_identical": len(exports) == 1,
+        "p50": percentiles["p50"],
+        "p99": percentiles["p99"],
+        "cdf_half": serial.cdf(0.5),
+    }
+
+
+_register(
+    Scenario(
+        name="telemetry_sketch",
+        paper="PR 9: equi-height histograms as streaming quantile sketches",
+        help="sketch ingest + quantiles; merge-order bit-identity re-proved",
+        setup=_telemetry_sketch_setup,
+        run=_telemetry_sketch_run,
+    )
+)
+
+
+def _telemetry_overhead_setup(scale: BenchScale, seed: int) -> dict:
+    """Same inputs as ``serve_latency`` — the run builds servers itself."""
+    return _serve_latency_setup(scale, seed)
+
+
+def _telemetry_overhead_run(ctx: dict) -> dict:
+    """The identical loadgen run against telemetry-off and -on servers.
+
+    The two logical summaries must match byte-for-byte (telemetry is
+    RNG-inert — the off-by-default contract, re-proved per bench run);
+    the two request-latency p99s land in the wall section so the baseline
+    gate can watch the instrumentation overhead without flaking on
+    machine speed.
+    """
+    from ..engine import Table
+    from ..serve import LoadGenerator, LoadProfile, StatsServer
+
+    profile = LoadProfile(
+        requests=ctx["requests"],
+        clients=2,
+        seed=ctx["seed"] + 32,
+        churn_rows=ctx["churn"],
+        analyze_params=(("k", ctx["k"]),),
+    )
+    summaries = {}
+    for mode in ("off", "on"):
+        server = StatsServer(
+            {"bench": Table("bench", {"value": ctx["values"]})},
+            seed=ctx["seed"] + 31,
+            build_params={"k": ctx["k"]},
+            telemetry=mode == "on",
+        )
+        summaries[mode] = LoadGenerator(server=server, profile=profile).run()
+        if mode == "on":
+            telemetry_clock = server.telemetry.clock
+    logical = {
+        mode: json.dumps(summary["logical"], sort_keys=True)
+        for mode, summary in summaries.items()
+    }
+    ctx["wall_extra"] = {
+        "baseline_p99_s": summaries["off"]["wall"]["p99_s"],
+        "telemetry_p99_s": summaries["on"]["wall"]["p99_s"],
+    }
+    return {
+        "requests": summaries["on"]["logical"]["requests"],
+        "answers": summaries["on"]["logical"]["checksums"]["answers"],
+        "rows_fsum": summaries["on"]["logical"]["checksums"]["rows_fsum"],
+        "identical": logical["off"] == logical["on"],
+        "telemetry_clock": telemetry_clock,
+    }
+
+
+_register(
+    Scenario(
+        name="telemetry_overhead",
+        paper="PR 9: telemetry-on request path vs the uninstrumented one",
+        help="loadgen vs telemetry on/off; identical logical summaries",
+        setup=_telemetry_overhead_setup,
+        run=_telemetry_overhead_run,
+    )
+)
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------

@@ -15,7 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MetricSpec", "METRICS", "SPANS", "COUNTER", "GAUGE", "HISTOGRAM"]
+__all__ = [
+    "MetricSpec",
+    "METRICS",
+    "SPANS",
+    "SKETCHES",
+    "SERIES",
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+]
 
 COUNTER = "counter"
 GAUGE = "gauge"
@@ -195,7 +204,8 @@ _SPECS = [
         "repro_serve_requests_total", COUNTER, ("endpoint",),
         "Requests handled by the statistics server, by endpoint "
         "(endpoint=analyze|estimate_range|estimate_equality|"
-        "estimate_quantile|estimate_distinct|modify|status|ping).",
+        "estimate_quantile|estimate_distinct|modify|status|ping|"
+        "stats|health|watch).",
     ),
     MetricSpec(
         "repro_serve_cache_events_total", COUNTER, ("event",),
@@ -224,6 +234,15 @@ _SPECS = [
         "repro_serve_index_probes", HISTOGRAM, (),
         "Separator comparisons per BucketIndex lookup (O(log k) by "
         "construction; deterministic, so safe in logical costs).",
+    ),
+    MetricSpec(
+        "repro_serve_uptime_requests", GAUGE, (),
+        "Requests handled since server start — the logical uptime clock "
+        "(deterministic, unlike wall-clock uptime).",
+    ),
+    MetricSpec(
+        "repro_serve_queue_depth", GAUGE, (),
+        "ANALYZE builds currently waiting in the admission queue.",
     ),
 ]
 
@@ -255,4 +274,30 @@ SPANS: dict[str, str] = {
                    "(admission-controlled).",
     "serve.loadgen": "One closed-loop load-generator run against a "
                      "server.",
+}
+
+#: Every live-telemetry sketch the library may maintain
+#: (:class:`repro.obs.live.StreamingQuantileSketch` validates names
+#: against this dict).  Documented in docs/TELEMETRY.md.
+SKETCHES: dict[str, str] = {
+    "serve_request_latency": "Wall-clock seconds per served request "
+                             "(the live latency distribution).",
+    "serve_reference_latency": "Frozen early snapshot of the request-"
+                               "latency sketch — the shift-detection "
+                               "baseline.",
+}
+
+#: Every windowed telemetry series the library may maintain
+#: (:class:`repro.obs.live.WindowedTimeseries` validates names against
+#: this dict).  Windows are keyed by the server's logical request clock.
+#: Documented in docs/TELEMETRY.md.
+SERIES: dict[str, str] = {
+    "serve_requests": "Requests completed, per logical window.",
+    "serve_errors": "Requests answered with ok=false, per logical window.",
+    "serve_cache_hits": "Serving-cache hits, per logical window.",
+    "serve_cache_misses": "Serving-cache misses, per logical window.",
+    "serve_sheds": "ANALYZE builds shed by admission control, per "
+                   "logical window.",
+    "serve_degraded": "Requests served from degraded last-known-good "
+                      "statistics, per logical window.",
 }

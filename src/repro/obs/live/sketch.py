@@ -1,0 +1,407 @@
+"""Bounded-memory streaming quantile sketch over a fixed log-spaced grid.
+
+:class:`StreamingQuantileSketch` answers p50/p90/p99 and CDF queries over
+an unbounded value stream with a **fixed bucket budget**, dogfooding the
+paper: the sketch state exports to an
+:class:`~repro.core.histogram.EquiHeightHistogram` and queries are served
+through the O(log k) :class:`~repro.serve.bucket_index.BucketIndex` from
+the serving layer.
+
+Design — determinism before cleverness.  Adaptive sketches (DDSketch
+collapse, incremental equi-height compression) make the state depend on
+arrival *order*, which would break the serve layer's byte-identical
+summary contract.  Instead the bucket grid is **fixed at construction**:
+``bucket_budget`` log-spaced buckets spanning ``[min_domain, max_domain]``
+with growth factor ``gamma = (max_domain / min_domain) ** (1 /
+bucket_budget)``.  Observing a value only increments one integer counter,
+so the sketch state — and therefore every quantile answer — is a pure
+function of the observed *multiset*: bit-identical across runs, arrival
+orders, and merge orders (merging adds counters, which is exactly
+associative and commutative).
+
+Accuracy: for values inside ``[min_domain, max_domain]`` a quantile
+answer and the exact sorted-array quantile land in the same grid bucket,
+so they differ by at most a factor of ``gamma`` in value, and the rank of
+the answer is off by at most that bucket's count (asserted under
+hypothesis in ``tests/obs/live/test_sketch.py``).  Zeros are tracked as
+an exact point mass; values outside the domain clamp into the outermost
+buckets, where only the exact observed min/max bound the error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from ...core.histogram import EquiHeightHistogram
+from ...exceptions import EmptyDataError, ParameterError
+from ..catalog import SKETCHES
+
+__all__ = ["StreamingQuantileSketch"]
+
+
+class StreamingQuantileSketch:
+    """Deterministic, mergeable quantile sketch with a fixed bucket budget.
+
+    Parameters
+    ----------
+    name:
+        Declared sketch name; must appear in
+        :data:`repro.obs.catalog.SKETCHES` unless ``strict=False``.
+    bucket_budget:
+        Number of log-spaced grid buckets between ``min_domain`` and
+        ``max_domain``.  Memory is bounded by ``bucket_budget + 2``
+        integer counters regardless of stream length.
+    min_domain, max_domain:
+        The value range resolved at full relative precision.  Values of
+        exactly ``0.0`` are counted as a point mass; values in
+        ``(0, min_domain]`` share the first bucket and values above
+        ``max_domain`` share the last (exact min/max are still tracked).
+    strict:
+        When true (default), reject undeclared sketch names — the same
+        documented-by-construction rule the metrics registry enforces.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bucket_budget: int = 64,
+        min_domain: float = 1e-6,
+        max_domain: float = 1e3,
+        strict: bool = True,
+    ):
+        if strict and name not in SKETCHES:
+            known = ", ".join(sorted(SKETCHES))
+            raise ParameterError(
+                f"undeclared sketch name {name!r}; declared: {known}"
+            )
+        if bucket_budget < 1:
+            raise ParameterError(
+                f"bucket_budget must be positive, got {bucket_budget}"
+            )
+        if not 0.0 < min_domain < max_domain:
+            raise ParameterError(
+                f"need 0 < min_domain < max_domain, got "
+                f"[{min_domain}, {max_domain}]"
+            )
+        self._name = name
+        self._budget = int(bucket_budget)
+        self._min_domain = float(min_domain)
+        self._max_domain = float(max_domain)
+        self._gamma = (self._max_domain / self._min_domain) ** (
+            1.0 / self._budget
+        )
+        self._log_gamma = math.log(self._gamma)
+        #: Grid bucket counts, keyed by bucket index in ``[0, budget]``.
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._min_positive = math.inf
+        self._max = -math.inf
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The declared sketch name."""
+        return self._name
+
+    @property
+    def bucket_budget(self) -> int:
+        """Number of grid buckets (the memory bound)."""
+        return self._budget
+
+    @property
+    def min_domain(self) -> float:
+        """Lower edge of the fully resolved value range."""
+        return self._min_domain
+
+    @property
+    def max_domain(self) -> float:
+        """Upper edge of the fully resolved value range."""
+        return self._max_domain
+
+    @property
+    def gamma(self) -> float:
+        """Per-bucket growth factor — the relative-accuracy guarantee."""
+        return self._gamma
+
+    @property
+    def count(self) -> int:
+        """Total number of observed values."""
+        return self._count
+
+    @property
+    def zero_count(self) -> int:
+        """Number of observed exact zeros (kept as a point mass)."""
+        return self._zero_count
+
+    @property
+    def min(self) -> float | None:
+        """Exact smallest observed value (``None`` while empty)."""
+        if self._count == 0:
+            return None
+        return 0.0 if self._zero_count else self._min_positive
+
+    @property
+    def max(self) -> float | None:
+        """Exact largest observed value (``None`` while empty)."""
+        if self._count == 0:
+            return None
+        return 0.0 if self._max == -math.inf else self._max
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _bucket_of(self, value: float) -> int:
+        """Grid bucket index of a positive *value*, clamped to the domain."""
+        if value <= self._min_domain:
+            return 0
+        index = math.ceil(
+            math.log(value / self._min_domain) / self._log_gamma
+        )
+        return min(max(index, 0), self._budget)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Fold *count* occurrences of *value* into the sketch.
+
+        Rejects negative, NaN, and infinite values — the sketch tracks
+        non-negative measurements (latencies, sizes, counts).
+        """
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ParameterError(
+                f"sketch values must be finite and >= 0, got {value!r}"
+            )
+        if count < 1:
+            raise ParameterError(f"count must be positive, got {count}")
+        if value == 0.0:
+            self._zero_count += count
+        else:
+            bucket = self._bucket_of(value)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+            if value < self._min_positive:
+                self._min_positive = value
+            if value > self._max:
+                self._max = value
+        self._count += count
+        self._index = None
+
+    def merge(
+        self, other: "StreamingQuantileSketch"
+    ) -> "StreamingQuantileSketch":
+        """Fold *other* into this sketch; returns ``self``.
+
+        Both sketches must share the same name and grid configuration;
+        merging then adds integer counters and takes exact min/max, so
+        the merged state equals the state of one sketch that observed
+        both multisets — associative and commutative, in any merge order
+        (the same contract as :meth:`MetricsRegistry.merge
+        <repro.obs.metrics.MetricsRegistry.merge>`).
+        """
+        if not isinstance(other, StreamingQuantileSketch):
+            raise ParameterError(
+                f"cannot merge {type(other).__name__} into a sketch"
+            )
+        if (
+            other._name != self._name
+            or other._budget != self._budget
+            or other._min_domain != self._min_domain
+            or other._max_domain != self._max_domain
+        ):
+            raise ParameterError(
+                f"sketch configs differ: {self.config()} vs {other.config()}"
+            )
+        for bucket, bucket_count in other._buckets.items():
+            self._buckets[bucket] = (
+                self._buckets.get(bucket, 0) + bucket_count
+            )
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._min_positive = min(self._min_positive, other._min_positive)
+        self._max = max(self._max, other._max)
+        self._index = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Export / import (byte-stable)
+    # ------------------------------------------------------------------
+
+    def config(self) -> dict:
+        """The grid configuration (the merge-compatibility key)."""
+        return {
+            "name": self._name,
+            "bucket_budget": self._budget,
+            "min_domain": self._min_domain,
+            "max_domain": self._max_domain,
+        }
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot: config, exact extrema, and bucket counts.
+
+        The snapshot is lossless (``min_positive`` keeps the exact
+        positive minimum even when zeros own ``min``), so
+        ``from_dict(to_dict(s))`` reproduces ``s`` exactly and snapshots
+        can be merged across processes without drift.
+        """
+        return {
+            **self.config(),
+            "count": self._count,
+            "zero_count": self._zero_count,
+            "min": self.min,
+            "max": self.max,
+            "min_positive": (
+                None if self._min_positive == math.inf else self._min_positive
+            ),
+            "buckets": [
+                [bucket, self._buckets[bucket]]
+                for bucket in sorted(self._buckets)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON export (sorted keys, compact separators)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(
+        cls, snapshot: dict, *, strict: bool = True
+    ) -> "StreamingQuantileSketch":
+        """Rebuild a sketch from a :meth:`to_dict` snapshot."""
+        sketch = cls(
+            snapshot["name"],
+            bucket_budget=snapshot["bucket_budget"],
+            min_domain=snapshot["min_domain"],
+            max_domain=snapshot["max_domain"],
+            strict=strict,
+        )
+        sketch._buckets = {
+            int(bucket): int(bucket_count)
+            for bucket, bucket_count in snapshot["buckets"]
+        }
+        sketch._zero_count = int(snapshot["zero_count"])
+        sketch._count = int(snapshot["count"])
+        if snapshot["min_positive"] is not None:
+            sketch._min_positive = float(snapshot["min_positive"])
+        if snapshot["max"] is not None and sketch._buckets:
+            sketch._max = float(snapshot["max"])
+        return sketch
+
+    def copy(self, *, name: str | None = None) -> "StreamingQuantileSketch":
+        """Deep copy, optionally renamed (e.g. to freeze a reference)."""
+        snapshot = self.to_dict()
+        if name is not None:
+            snapshot["name"] = name
+        return StreamingQuantileSketch.from_dict(snapshot, strict=False)
+
+    # ------------------------------------------------------------------
+    # Queries — through the paper's histogram + the serving BucketIndex
+    # ------------------------------------------------------------------
+
+    def to_histogram(self) -> EquiHeightHistogram:
+        """Export the sketch state as an equi-height histogram.
+
+        The grid buckets between the first and last occupied index become
+        histogram buckets (unoccupied interior buckets keep zero counts so
+        interpolation bounds stay adjacent grid edges); exact observed
+        min/max bound the outer buckets, and the zero point mass becomes
+        an ``eq_counts`` entry at a ``0.0`` separator.
+        """
+        if self._count == 0:
+            raise EmptyDataError("cannot export an empty sketch")
+        separators: list[float] = []
+        counts: list[int] = []
+        eq_counts: list[int] = []
+        has_positive = bool(self._buckets)
+        if self._zero_count:
+            separators.append(0.0)
+            counts.append(self._zero_count)
+            eq_counts.append(self._zero_count)
+            if has_positive:
+                # Zero-width spacer bucket up to the exact positive
+                # minimum, so positive interpolation never smears below
+                # the smallest positive observation.
+                separators.append(self._min_positive)
+                counts.append(0)
+                eq_counts.append(0)
+        if has_positive:
+            first, last = min(self._buckets), max(self._buckets)
+            for bucket in range(first, last + 1):
+                counts.append(self._buckets.get(bucket, 0))
+                if bucket < last:
+                    separators.append(self._edge(bucket))
+                    eq_counts.append(0)
+        min_value = 0.0 if self._zero_count else self._min_positive
+        max_value = self._max if has_positive else 0.0
+        return EquiHeightHistogram(
+            np.asarray(separators, dtype=np.float64),
+            np.asarray(counts, dtype=np.int64),
+            min_value,
+            max_value,
+            eq_counts=np.asarray(eq_counts, dtype=np.int64),
+        )
+
+    def _edge(self, bucket: int) -> float:
+        """Upper edge of grid bucket *bucket* (``min_domain * gamma^b``)."""
+        return self._min_domain * self._gamma**bucket
+
+    def _bucket_index(self):
+        """The cached query index, rebuilt after any mutation.
+
+        The :class:`~repro.serve.bucket_index.BucketIndex` import is
+        deferred to the first query: ``repro.serve.telemetry`` imports
+        this module, so a module-level import back into ``repro.serve``
+        would cycle through that package's ``__init__``.
+        """
+        if self._index is None:
+            from ...serve.bucket_index import BucketIndex
+
+            self._index = BucketIndex(self.to_histogram())
+        return self._index
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` of the observed stream (estimated)."""
+        return float(self._bucket_index().estimate_quantile(q))
+
+    def cdf(self, value: float) -> float:
+        """Estimated fraction of observed values ``<= value``."""
+        return float(self._bucket_index().estimate_leq(value)) / self._count
+
+    def percentiles(self) -> dict:
+        """The monitoring trio — ``{"p50": ..., "p90": ..., "p99": ...}``."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def bucket_masses(self) -> dict[int, int]:
+        """Grid occupancy including zeros at pseudo-index ``-1``.
+
+        The shared fixed grid makes two sketches' masses directly
+        comparable — this is the input to
+        :func:`repro.obs.live.slo.distribution_shift`.
+        """
+        masses = dict(self._buckets)
+        if self._zero_count:
+            masses[-1] = self._zero_count
+        return masses
+
+    def __len__(self) -> int:
+        """Number of occupied buckets (the actual memory footprint)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingQuantileSketch(name={self._name!r}, "
+            f"count={self._count}, buckets={len(self)}/{self._budget})"
+        )

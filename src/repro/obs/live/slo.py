@@ -1,0 +1,218 @@
+"""Declared service-level objectives, burn state, and shift detection.
+
+:class:`SloTracker` evaluates a closed set of declared
+:class:`SloObjective` targets against live telemetry — latency
+objectives against a :class:`~repro.obs.live.sketch.StreamingQuantileSketch`
+quantile, error-rate objectives against lifetime series totals — and
+keeps **burn state**: how many consecutive evaluations an objective has
+violated.  An objective is *burning* once that streak reaches
+``burn_windows``, which is the signal the serve ``health`` endpoint
+degrades on.
+
+:func:`distribution_shift` is the alerting complement: it compares the
+current latency sketch against a frozen reference sketch with the total
+variation distance over their (shared, fixed) bucket grids.  This is the
+practical face of histogram-distribution *testing* (PAPERS.md:
+*Near-Optimal Bounds for Testing Histogram Distributions*): with both
+distributions already summarised as k-bucket histograms, TV distance over
+the grid is the natural discrepancy statistic, and the ``min_count``
+guard plays the sample-complexity role — don't test before the sketches
+resolve the distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...exceptions import ParameterError
+from .sketch import StreamingQuantileSketch
+
+__all__ = [
+    "LATENCY",
+    "ERROR_RATE",
+    "SloObjective",
+    "SloTracker",
+    "distribution_shift",
+]
+
+#: Objective kind: a latency-quantile ceiling (wall-clock surface).
+LATENCY = "latency"
+#: Objective kind: an error-rate ceiling over lifetime totals (logical).
+ERROR_RATE = "error_rate"
+
+_KINDS = (LATENCY, ERROR_RATE)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective.
+
+    ``latency`` objectives require ``quantile(q) <= threshold`` seconds;
+    ``error_rate`` objectives require ``errors / requests <= threshold``.
+    """
+
+    name: str
+    kind: str
+    threshold: float
+    quantile: float = 0.99
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ParameterError(
+                f"objective kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.threshold < 0:
+            raise ParameterError(
+                f"threshold must be >= 0, got {self.threshold}"
+            )
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ParameterError(
+                f"quantile must be in [0, 1], got {self.quantile}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-data declaration (for the ``stats`` endpoint)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "quantile": self.quantile,
+        }
+
+
+class SloTracker:
+    """Evaluates declared objectives and keeps per-objective burn streaks."""
+
+    def __init__(
+        self,
+        objectives: tuple[SloObjective, ...] | list[SloObjective],
+        *,
+        burn_windows: int = 3,
+    ):
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate objective names in {names}")
+        if burn_windows < 1:
+            raise ParameterError(
+                f"burn_windows must be positive, got {burn_windows}"
+            )
+        self._objectives = tuple(objectives)
+        self._burn_windows = int(burn_windows)
+        self._burn = {name: 0 for name in names}
+
+    @property
+    def objectives(self) -> tuple[SloObjective, ...]:
+        """The declared objective set (closed, like a label set)."""
+        return self._objectives
+
+    @property
+    def burn_windows(self) -> int:
+        """Consecutive violations before an objective is *burning*."""
+        return self._burn_windows
+
+    def evaluate(
+        self,
+        *,
+        latency_sketch: StreamingQuantileSketch | None = None,
+        requests: float = 0.0,
+        errors: float = 0.0,
+    ) -> list[dict]:
+        """Evaluate every objective once; update and report burn state.
+
+        Objectives without enough data (empty sketch, zero requests) are
+        reported with ``evaluated: false`` and leave their burn streak
+        untouched.  Results are ordered by objective name so the output
+        is byte-stable.
+        """
+        results = []
+        for objective in sorted(self._objectives, key=lambda o: o.name):
+            observed: float | None = None
+            if objective.kind == LATENCY:
+                if latency_sketch is not None and latency_sketch.count:
+                    observed = latency_sketch.quantile(objective.quantile)
+            elif requests > 0:
+                observed = errors / requests
+            ok: bool | None = None
+            if observed is not None:
+                ok = observed <= objective.threshold
+                if ok:
+                    self._burn[objective.name] = 0
+                else:
+                    self._burn[objective.name] += 1
+            burn = self._burn[objective.name]
+            results.append(
+                {
+                    **objective.to_dict(),
+                    "evaluated": observed is not None,
+                    "observed": observed,
+                    "ok": ok,
+                    "burn": burn,
+                    "burning": burn >= self._burn_windows,
+                }
+            )
+        return results
+
+    def burning(self) -> list[str]:
+        """Names of objectives currently at or past the burn threshold."""
+        return sorted(
+            name
+            for name, burn in self._burn.items()
+            if burn >= self._burn_windows
+        )
+
+
+def distribution_shift(
+    current: StreamingQuantileSketch,
+    reference: StreamingQuantileSketch,
+    *,
+    epsilon: float = 0.25,
+    min_count: int = 32,
+) -> dict:
+    """Total-variation shift verdict between two same-grid sketches.
+
+    Returns ``{"evaluated", "tv_distance", "epsilon", "shifted", ...}``.
+    Both sketches must share the bucket grid (budget and domain — names
+    may differ, e.g. live vs frozen reference); the TV distance is then
+    ``0.5 * sum |p_b - q_b|`` over the union of occupied buckets, with
+    the zero point mass included as its own pseudo-bucket.  Below
+    ``min_count`` observations on either side the verdict is withheld
+    (``evaluated: false``) — the sample-complexity guard.
+    """
+    if (
+        current.bucket_budget != reference.bucket_budget
+        or current.min_domain != reference.min_domain
+        or current.max_domain != reference.max_domain
+    ):
+        raise ParameterError(
+            f"sketch grids differ: {current.config()} vs {reference.config()}"
+        )
+    if not 0.0 < epsilon <= 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+    if min_count < 1:
+        raise ParameterError(f"min_count must be positive, got {min_count}")
+    verdict = {
+        "epsilon": epsilon,
+        "min_count": min_count,
+        "current_count": current.count,
+        "reference_count": reference.count,
+    }
+    if current.count < min_count or reference.count < min_count:
+        return {**verdict, "evaluated": False, "tv_distance": None,
+                "shifted": False}
+    current_masses = current.bucket_masses()
+    reference_masses = reference.bucket_masses()
+    buckets = sorted(set(current_masses) | set(reference_masses))
+    tv_distance = 0.5 * math.fsum(
+        abs(
+            current_masses.get(bucket, 0) / current.count
+            - reference_masses.get(bucket, 0) / reference.count
+        )
+        for bucket in buckets
+    )
+    return {
+        **verdict,
+        "evaluated": True,
+        "tv_distance": tv_distance,
+        "shifted": tv_distance > epsilon,
+    }

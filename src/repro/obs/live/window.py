@@ -1,0 +1,259 @@
+"""Per-window rates over a logical clock: ring-buffered, RNG-inert.
+
+:class:`WindowedTimeseries` aggregates event amounts into fixed-width
+windows of a **logical clock** (the serve server ticks it once per
+request), keeping only the most recent ``num_windows`` windows — a ring
+buffer, so memory is bounded regardless of uptime.
+
+Using logical ticks instead of wall time is what keeps the serve layer's
+telemetry deterministic and testable: window boundaries are pure
+functions of the tick stream, never of scheduling or machine speed.  The
+final ring state is a pure function of the observed multiset of
+``(tick, amount)`` pairs (events landing in already-expired windows are
+dropped on arrival, exactly as they would have been pruned), so merging
+two instances — add per-window, take the max clock, re-prune — is
+associative and commutative.  Lifetime totals are kept alongside the
+ring: totals are interleaving-invariant and belong in logical summaries,
+while per-window values depend on how concurrent requests interleave and
+belong in wall-clock sections.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ...exceptions import ParameterError
+from ..catalog import SERIES
+
+__all__ = ["WindowedTimeseries"]
+
+
+class WindowedTimeseries:
+    """A ring of per-window sums over a logical clock.
+
+    Parameters
+    ----------
+    name:
+        Declared series name; must appear in
+        :data:`repro.obs.catalog.SERIES` unless ``strict=False``.
+    window_ticks:
+        Logical-clock ticks per window; window ``w`` covers ticks
+        ``[w * window_ticks, (w + 1) * window_ticks)``.
+    num_windows:
+        Ring size — how many trailing windows are retained.
+    strict:
+        When true (default), reject undeclared series names.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window_ticks: int = 64,
+        num_windows: int = 8,
+        strict: bool = True,
+    ):
+        if strict and name not in SERIES:
+            known = ", ".join(sorted(SERIES))
+            raise ParameterError(
+                f"undeclared series name {name!r}; declared: {known}"
+            )
+        if window_ticks < 1:
+            raise ParameterError(
+                f"window_ticks must be positive, got {window_ticks}"
+            )
+        if num_windows < 1:
+            raise ParameterError(
+                f"num_windows must be positive, got {num_windows}"
+            )
+        self._name = name
+        self._window_ticks = int(window_ticks)
+        self._num_windows = int(num_windows)
+        self._clock = 0
+        self._total = 0.0
+        self._events = 0
+        self._windows: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The declared series name."""
+        return self._name
+
+    @property
+    def window_ticks(self) -> int:
+        """Logical ticks per window."""
+        return self._window_ticks
+
+    @property
+    def num_windows(self) -> int:
+        """Ring size (trailing windows retained)."""
+        return self._num_windows
+
+    @property
+    def clock(self) -> int:
+        """Largest logical tick seen so far."""
+        return self._clock
+
+    @property
+    def window_index(self) -> int:
+        """Index of the window containing the current clock."""
+        return self._clock // self._window_ticks
+
+    @property
+    def total(self) -> float:
+        """Lifetime sum of all recorded amounts (never pruned)."""
+        return self._total
+
+    @property
+    def events(self) -> int:
+        """Lifetime number of :meth:`record` calls folded in."""
+        return self._events
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def advance(self, tick: int) -> None:
+        """Move the logical clock forward to *tick* (monotone max)."""
+        if tick < 0:
+            raise ParameterError(f"ticks must be >= 0, got {tick}")
+        if tick > self._clock:
+            self._clock = tick
+            self._prune()
+
+    def record(self, amount: float = 1.0, *, tick: int | None = None) -> None:
+        """Add *amount* at logical *tick* (default: the current clock).
+
+        The clock advances to *tick* if it is ahead; amounts landing in
+        windows the ring has already expired are counted in the lifetime
+        total but not retained (same outcome as recording then pruning).
+        """
+        if tick is None:
+            tick = self._clock
+        if tick < 0:
+            raise ParameterError(f"ticks must be >= 0, got {tick}")
+        if tick > self._clock:
+            self._clock = tick
+        window = tick // self._window_ticks
+        self._windows[window] = self._windows.get(window, 0.0) + float(amount)
+        self._total += float(amount)
+        self._events += 1
+        self._prune()
+
+    def _prune(self) -> None:
+        """Drop windows that fell out of the ring."""
+        cutoff = self.window_index - self._num_windows
+        if any(window <= cutoff for window in self._windows):
+            self._windows = {
+                window: value
+                for window, value in self._windows.items()
+                if window > cutoff
+            }
+
+    def merge(self, other: "WindowedTimeseries") -> "WindowedTimeseries":
+        """Fold *other* into this series; returns ``self``.
+
+        Associative and commutative.  Requires identical configuration;
+        per-window sums add, the clock takes the max, lifetime totals
+        add, and the ring is re-pruned against the merged clock.
+        """
+        if not isinstance(other, WindowedTimeseries):
+            raise ParameterError(
+                f"cannot merge {type(other).__name__} into a series"
+            )
+        if (
+            other._name != self._name
+            or other._window_ticks != self._window_ticks
+            or other._num_windows != self._num_windows
+        ):
+            raise ParameterError(
+                f"series configs differ: {self.config()} vs {other.config()}"
+            )
+        for window, value in other._windows.items():
+            self._windows[window] = self._windows.get(window, 0.0) + value
+        self._clock = max(self._clock, other._clock)
+        self._total += other._total
+        self._events += other._events
+        self._prune()
+        return self
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def windows(self) -> list[list]:
+        """Retained ``[window_index, sum]`` pairs, oldest first."""
+        return [
+            [window, self._windows[window]]
+            for window in sorted(self._windows)
+        ]
+
+    def windows_since(self, cursor: int) -> list[list]:
+        """Retained pairs with ``window_index >= cursor`` (for ``watch``)."""
+        return [pair for pair in self.windows() if pair[0] >= cursor]
+
+    def value(self, window: int) -> float:
+        """Sum recorded in *window* (0.0 when absent or expired)."""
+        return self._windows.get(window, 0.0)
+
+    def rate(self, window: int) -> float:
+        """Per-tick rate of *window* (``value / window_ticks``)."""
+        return self.value(window) / self._window_ticks
+
+    # ------------------------------------------------------------------
+    # Export / import (byte-stable)
+    # ------------------------------------------------------------------
+
+    def config(self) -> dict:
+        """The ring configuration (the merge-compatibility key)."""
+        return {
+            "name": self._name,
+            "window_ticks": self._window_ticks,
+            "num_windows": self._num_windows,
+        }
+
+    def to_dict(self) -> dict:
+        """Plain-data snapshot of config, clock, totals, and the ring."""
+        return {
+            **self.config(),
+            "clock": self._clock,
+            "total": self._total,
+            "events": self._events,
+            "windows": self.windows(),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON export (sorted keys, compact separators)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(
+        cls, snapshot: dict, *, strict: bool = True
+    ) -> "WindowedTimeseries":
+        """Rebuild a series from a :meth:`to_dict` snapshot."""
+        series = cls(
+            snapshot["name"],
+            window_ticks=snapshot["window_ticks"],
+            num_windows=snapshot["num_windows"],
+            strict=strict,
+        )
+        series._clock = int(snapshot["clock"])
+        series._total = float(snapshot["total"])
+        series._events = int(snapshot["events"])
+        series._windows = {
+            int(window): float(value)
+            for window, value in snapshot["windows"]
+        }
+        return series
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedTimeseries(name={self._name!r}, clock={self._clock}, "
+            f"windows={len(self._windows)}/{self._num_windows})"
+        )

@@ -62,6 +62,7 @@ __all__ = [
     "observe",
     "render_text",
     "render_json",
+    "render_prom",
     "equi_height_buckets",
 ]
 
@@ -398,6 +399,77 @@ def render_text(registry: MetricsRegistry, bucket_count: int = 8) -> str:
         lines.append(f"# TYPE {name} {kind}")
         for _, _, body in by_name[name]:
             lines.extend(body)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape a HELP string per the Prometheus text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_prom_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prom(registry: MetricsRegistry, bucket_count: int = 8) -> str:
+    """Strict Prometheus text-exposition rendering of *registry*.
+
+    Differs from :func:`render_text` (which is Prometheus-*style* but keeps
+    per-bucket counts for readability) in the ways a real scraper cares
+    about: histogram ``_bucket`` series carry **cumulative** counts, a
+    closing ``le="+Inf"`` bucket equals ``_count``, label values are
+    escaped per the exposition format, and HELP text is
+    newline/backslash-escaped.  Bucket boundaries are still the
+    equi-height cut of the observation multiset (deterministic, merge
+    -order-free), so the output is golden-file comparable.  No timestamps
+    are emitted.
+    """
+    snap = registry.snapshot()
+    by_name: dict[str, list[str]] = {}
+
+    for kind, entries in ((COUNTER, snap["counters"]), (GAUGE, snap["gauges"])):
+        for name, labels, value in entries:
+            by_name.setdefault(name, []).append(
+                f"{name}{_prom_label_str(labels)} {_fmt(value)}"
+            )
+    for name, labels, values in snap["histograms"]:
+        body = by_name.setdefault(name, [])
+        cumulative = 0
+        for bucket in equi_height_buckets(values, bucket_count):
+            cumulative += bucket["count"]
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _fmt(bucket["le"])
+            body.append(
+                f"{name}_bucket{_prom_label_str(bucket_labels)} {cumulative}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        body.append(f"{name}_bucket{_prom_label_str(inf_labels)} {len(values)}")
+        body.append(f"{name}_count{_prom_label_str(labels)} {len(values)}")
+        body.append(
+            f"{name}_sum{_prom_label_str(labels)} {_fmt(math.fsum(values))}"
+        )
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        spec = _spec_for(name)
+        if spec is not None:
+            lines.append(f"# HELP {name} {_prom_escape_help(spec.help)}")
+            lines.append(f"# TYPE {name} {spec.type}")
+        lines.extend(by_name[name])
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -16,6 +16,11 @@ multi-tenant statistics server:
   plus an asyncio JSON-lines-over-TCP front end.
 - :mod:`repro.serve.loadgen` — a deterministic closed-loop load generator
   whose logical summary is bit-identical across runs and client counts.
+- :mod:`repro.serve.telemetry` — optional live runtime telemetry
+  (streaming latency sketch, windowed event series, SLO burn tracking)
+  behind the ``stats`` / ``health`` / ``watch`` endpoints.
+- :mod:`repro.serve.monitor` — the ``repro top`` terminal monitor over
+  those endpoints.
 
 Everything here follows the repo determinism contract: logical outputs are
 pure functions of (seed, parameters); wall-clock numbers live only in
@@ -31,6 +36,7 @@ from .cache import StatsCache
 from .loadgen import LoadGenerator, LoadProfile
 from .protocol import ENDPOINTS, ProtocolError, validate_request
 from .server import StatsServer, serve_forever
+from .telemetry import ServerTelemetry
 
 __all__ = [
     "AdmissionController",
@@ -44,4 +50,5 @@ __all__ = [
     "validate_request",
     "StatsServer",
     "serve_forever",
+    "ServerTelemetry",
 ]

@@ -74,6 +74,10 @@ class AdmissionController:
         self.admitted = 0
         self.queued = 0
         self.shed = 0
+        #: Optional observation hook ``listener(kind)`` — the server wires
+        #: live telemetry in here (``kind="shed"`` on every shed decision).
+        #: Must never raise; it is called with the controller lock held.
+        self.listener = None
 
     # ------------------------------------------------------------------
     # Slot protocol
@@ -96,8 +100,10 @@ class AdmissionController:
             if self._queued >= self.max_queue:
                 self.shed += 1
                 inc("repro_serve_admission_total", decision="shed")
+                self._notify_shed()
                 return AdmissionDecision.SHED
             self._queued += 1
+            self._publish()
             try:
                 got = self._cond.wait_for(
                     lambda: self._inflight < self.max_inflight,
@@ -105,9 +111,11 @@ class AdmissionController:
                 )
             finally:
                 self._queued -= 1
+                self._publish()
             if not got:
                 self.shed += 1
                 inc("repro_serve_admission_total", decision="shed")
+                self._notify_shed()
                 return AdmissionDecision.SHED
             self._inflight += 1
             self.queued += 1
@@ -148,14 +156,26 @@ class AdmissionController:
     # ------------------------------------------------------------------
 
     def _publish(self) -> None:
-        """Mirror the in-flight level to the gauge (no-op when obs is off)."""
+        """Mirror in-flight/queue levels to gauges (no-op when obs is off)."""
         set_gauge("repro_serve_inflight_builds", float(self._inflight))
+        set_gauge("repro_serve_queue_depth", float(self._queued))
+
+    def _notify_shed(self) -> None:
+        """Tell the telemetry listener (if any) about one shed decision."""
+        if self.listener is not None:
+            self.listener("shed")
 
     @property
     def inflight(self) -> int:
         """Builds currently holding a slot."""
         with self._cond:
             return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Callers currently waiting in the admission queue."""
+        with self._cond:
+            return self._queued
 
     def counters(self) -> dict[str, int]:
         """Decision totals (admitted/queued/shed) since construction."""

@@ -67,6 +67,10 @@ class StatsCache:
         self.misses = 0
         self.refreshes = 0
         self.evictions = 0
+        #: Optional observation hook ``listener(kind)`` — the server wires
+        #: live telemetry in here (``kind="cache_hit"|"cache_miss"``).
+        #: Must never raise; it is called with the cache lock held.
+        self.listener = None
 
     # ------------------------------------------------------------------
     # Lookup path
@@ -105,10 +109,14 @@ class StatsCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 inc("repro_serve_cache_events_total", event="hit")
+                if self.listener is not None:
+                    self.listener("cache_hit")
                 return entry
             if entry is None:
                 self.misses += 1
                 inc("repro_serve_cache_events_total", event="miss")
+                if self.listener is not None:
+                    self.listener("cache_miss")
             else:
                 self.refreshes += 1
                 inc("repro_serve_cache_events_total", event="refresh")

@@ -1,0 +1,206 @@
+"""Terminal monitor for a running statistics server: ``repro top``.
+
+The monitor is a thin client over the ``stats`` / ``health`` endpoints
+(:mod:`repro.serve.protocol`): it polls a running server over the same
+JSON-lines TCP transport the load generator uses, renders one text frame
+per poll, and (optionally) writes the **logical** half of the last
+``stats`` response to a file.  That file is byte-stable for a fixed
+logical request history — the CI ``telemetry-smoke`` job diffs two of
+them taken after identical workloads driven with different client
+counts.
+
+Rendering is split determinism-first, like everything else in the serve
+layer:
+
+- :func:`render_logical_text` — pure function of the ``logical`` section
+  (sorted keys, no timestamps); safe for golden files and byte-diffs.
+- :func:`render_frame` — the human frame; mixes in the ``wall`` section
+  (latency quantiles, windows) and is never byte-compared.
+
+See docs/TELEMETRY.md for the endpoint payloads being rendered.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from ..exceptions import ReproError
+from .loadgen import _TcpClient
+
+__all__ = [
+    "fetch",
+    "render_logical_text",
+    "render_frame",
+    "run_top",
+]
+
+
+def fetch(client) -> tuple[dict, dict]:
+    """One monitor poll: the ``stats`` and ``health`` result objects.
+
+    *client* is anything with a ``request(payload) -> response`` method
+    (the loadgen's TCP client, or an in-process shim in tests).  Raises
+    :class:`~repro.exceptions.ReproError` on an ``ok: false`` response.
+    """
+    stats = _result(client.request({"op": "stats"}))
+    health = _result(client.request({"op": "health"}))
+    return stats, health
+
+
+def _result(response: dict) -> dict:
+    """Unwrap one response, raising on protocol-level failure."""
+    if not response.get("ok"):
+        raise ReproError(
+            f"monitor request failed: {response.get('error')!r} "
+            f"({response.get('code')})"
+        )
+    return response["result"]
+
+
+def render_logical_text(stats: dict) -> str:
+    """Byte-stable JSON of the logical half of one ``stats`` result.
+
+    This is the artifact the CI smoke job byte-diffs across client
+    counts: sorted keys, two-space indent, trailing newline, nothing
+    from the ``wall`` section.
+    """
+    return json.dumps(stats["logical"], indent=2, sort_keys=True) + "\n"
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    """Milliseconds with fixed precision, or a dash when absent."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def _slo_lines(verdicts: list[dict]) -> list[str]:
+    """One aligned line per SLO verdict (logical + wall merged)."""
+    lines = []
+    for verdict in verdicts:
+        if not verdict.get("evaluated"):
+            state = "no-data"
+        elif verdict.get("burning"):
+            state = "BURNING"
+        elif verdict.get("ok"):
+            state = "ok"
+        else:
+            state = "violating"
+        observed = verdict.get("observed")
+        shown = "-" if observed is None else f"{observed:.6g}"
+        lines.append(
+            f"  {verdict['name']:<16} {verdict['kind']:<10} "
+            f"threshold={verdict['threshold']:<10g} observed={shown:<12} "
+            f"burn={verdict.get('burn', 0)} [{state}]"
+        )
+    return lines
+
+
+def render_frame(stats: dict, health: dict) -> str:
+    """One human-readable monitor frame from ``stats`` + ``health``.
+
+    Pure function of its inputs (no clock reads), but the inputs' wall
+    section varies run to run — frames are for eyes, not for diffing.
+    """
+    logical = stats["logical"]
+    wall = stats.get("wall") or {}
+    telemetry = logical.get("telemetry") or {}
+    lines = [
+        f"repro serve — health: {health['status']}"
+        + (f"  burning: {', '.join(health['burning'])}"
+           if health.get("burning") else ""),
+        f"uptime_requests={logical['uptime_requests']}  "
+        f"degraded_served={logical['degraded_served']}  "
+        f"queue_depth={logical['queue_depth']}  "
+        f"catalog_columns={logical['catalog_columns']}",
+        "requests by endpoint: " + (
+            "  ".join(
+                f"{op}={n}" for op, n in sorted(logical["requests"].items())
+            ) or "(none)"
+        ),
+        f"cache: {logical['cache']}  admission: {logical['admission']}",
+    ]
+    if not telemetry.get("enabled"):
+        lines.append("telemetry: disabled (start the server with --telemetry)")
+        return "\n".join(lines) + "\n"
+
+    latency = wall.get("latency") or {}
+    lines.append(
+        f"telemetry: clock={telemetry['clock']}  "
+        f"latency n={latency.get('count', 0)}  "
+        f"p50={_fmt_ms(latency.get('p50'))}  "
+        f"p90={_fmt_ms(latency.get('p90'))}  "
+        f"p99={_fmt_ms(latency.get('p99'))}"
+    )
+    totals = telemetry.get("series_totals", {})
+    lines.append(
+        "series totals: " + "  ".join(
+            f"{name}={total:g}" for name, total in sorted(totals.items())
+        )
+    )
+    verdicts = list(telemetry.get("slo", [])) + list(wall.get("slo", []))
+    if verdicts:
+        lines.append("slo:")
+        lines.extend(_slo_lines(sorted(verdicts, key=lambda v: v["name"])))
+    shift = wall.get("shift") or {}
+    if shift.get("reference_frozen"):
+        if shift.get("evaluated"):
+            lines.append(
+                f"shift: tv_distance={shift['tv_distance']:.6g} "
+                f"epsilon={shift['epsilon']:g} "
+                f"{'SHIFTED' if shift['shifted'] else 'stable'}"
+            )
+        else:
+            lines.append("shift: reference frozen, not enough data yet")
+    else:
+        lines.append("shift: reference not frozen yet")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    once: bool = False,
+    interval: float = 1.0,
+    frames: int | None = None,
+    out: str | None = None,
+    stream=None,
+) -> int:
+    """Poll ``host:port`` and print monitor frames; returns an exit code.
+
+    ``once`` prints a single frame; otherwise frames repeat every
+    ``interval`` seconds (bounded by ``frames`` when given, for tests).
+    ``out`` writes the byte-stable logical snapshot of the *last* frame
+    (:func:`render_logical_text`) — the artifact CI byte-diffs.
+    """
+    if interval <= 0:
+        raise ReproError(f"interval must be positive, got {interval}")
+    stream = stream if stream is not None else sys.stdout
+    remaining = 1 if once else frames
+    client = _TcpClient(host, port)
+    last_stats: dict | None = None
+    try:
+        while True:
+            stats, health = fetch(client)
+            last_stats = stats
+            stream.write(render_frame(stats, health))
+            stream.write("\n")
+            if hasattr(stream, "flush"):
+                stream.flush()
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    if out and last_stats is not None:
+        from ..durability import atomic_write_text
+
+        atomic_write_text(out, render_logical_text(last_stats))
+    return 0

@@ -50,6 +50,7 @@ class EndpointSpec:
 #: Optional-field declarations, keyed by endpoint name.
 OPTIONAL_FIELDS: dict[str, dict] = {
     "analyze": {"params": dict},
+    "watch": {"cursor": int},
 }
 
 _NUMERIC = (int, float)
@@ -96,6 +97,26 @@ ENDPOINTS: dict[str, EndpointSpec] = {
         EndpointSpec(
             "modify", {"table": str, "column": str, "rows": int},
             "Report `rows` modified rows, feeding the staleness policy.",
+        ),
+        EndpointSpec(
+            "stats", {},
+            "Telemetry snapshot, split into a `logical` section "
+            "(interleaving-invariant counters, series totals, error-rate "
+            "SLOs) and a `wall` section (latency sketch quantiles, "
+            "windows, latency SLOs, shift verdict).",
+        ),
+        EndpointSpec(
+            "health", {},
+            "Liveness + objective verdict: `ok` until a declared SLO "
+            "has burned for `burn_windows` consecutive evaluations, "
+            "then `degraded`.",
+        ),
+        EndpointSpec(
+            "watch", {},
+            "Incremental stats delta: telemetry windows with index >= "
+            "the optional `cursor`, plus the next cursor to poll from "
+            "(long-poll-free tailing over the same JSON-lines "
+            "transport).",
         ),
     ]
 }

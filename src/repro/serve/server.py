@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 import zlib
 
 import numpy as np
@@ -37,6 +38,7 @@ from ..obs import trace as _trace
 from .admission import AdmissionController, AdmissionDecision
 from .cache import CacheEntry, StatsCache
 from .protocol import SHUTDOWN_OP, ProtocolError, validate_request
+from .telemetry import ServerTelemetry
 
 __all__ = ["ServerOverloadError", "StatsServer", "serve_forever"]
 
@@ -74,6 +76,13 @@ class StatsServer:
     build_params:
         Default ANALYZE parameters for cold builds (merged under
         :data:`DEFAULT_BUILD_PARAMS`).
+    telemetry:
+        Live telemetry (docs/TELEMETRY.md), **off by default**.  Pass
+        ``True`` for a default-configured
+        :class:`~repro.serve.telemetry.ServerTelemetry`, or a
+        pre-configured instance.  When off, the request path pays one
+        attribute check and the ``stats``/``watch`` endpoints answer
+        ``enabled: false``.
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class StatsServer:
         admission: AdmissionController | None = None,
         store: CatalogStore | str | None = None,
         build_params: dict | None = None,
+        telemetry: ServerTelemetry | bool | None = None,
     ):
         """Wire the engine stack (catalog → manager → autostats → cache)."""
         self.seed = int(seed)
@@ -106,7 +116,16 @@ class StatsServer:
         self.build_params.update(build_params or {})
         self.request_counts: dict[str, int] = {}
         self.degraded_served = 0
+        self.uptime_requests = 0
         self._counts_lock = threading.Lock()
+        if telemetry is True:
+            telemetry = ServerTelemetry()
+        self.telemetry: ServerTelemetry | None = telemetry or None
+        if self.telemetry is not None:
+            # Observation-only listeners: cache and admission events feed
+            # the windowed series without the server polling counters.
+            self.cache.listener = self.telemetry.record_event
+            self.admission.listener = self.telemetry.record_event
 
     # ------------------------------------------------------------------
     # Registration
@@ -164,24 +183,41 @@ class StatsServer:
                 "ok": False, "op": None,
                 "error": str(exc), "code": "ProtocolError",
             }
+        telemetry = self.telemetry
+        if telemetry is not None:
+            tick = telemetry.begin_request()
+            started = time.perf_counter()  # repro: noqa[DET002] telemetry-only timing
         self._count(op)
         with _trace.span("serve.request", op=op) as span:
             try:
                 result = self._dispatch(op, fields)
             except ReproError as exc:
                 span.set(outcome="error")
+                if telemetry is not None:
+                    telemetry.end_request(
+                        tick,
+                        time.perf_counter() - started,  # repro: noqa[DET002] telemetry-only timing
+                        error=True,
+                    )
                 return {
                     "ok": False, "op": op,
                     "error": str(exc), "code": type(exc).__name__,
                 }
             span.set(outcome="ok")
+            if telemetry is not None:
+                telemetry.end_request(
+                    tick,
+                    time.perf_counter() - started,  # repro: noqa[DET002] telemetry-only timing
+                )
             return {"ok": True, "op": op, "result": result}
 
     def _count(self, op: str) -> None:
         """Bump the per-endpoint request counters (plain + metric)."""
         with self._counts_lock:
             self.request_counts[op] = self.request_counts.get(op, 0) + 1
+            uptime = self.uptime_requests = self.uptime_requests + 1
         _metrics.inc("repro_serve_requests_total", endpoint=op)
+        _metrics.set_gauge("repro_serve_uptime_requests", float(uptime))
 
     def _dispatch(self, op: str, fields: dict) -> dict:
         """Route a validated request to its endpoint implementation."""
@@ -196,6 +232,12 @@ class StatsServer:
             return {"recorded": fields["rows"]}
         if op == "analyze":
             return self._handle_analyze(fields)
+        if op == "stats":
+            return self._handle_stats()
+        if op == "health":
+            return self._handle_health()
+        if op == "watch":
+            return self._handle_watch(fields.get("cursor", 0))
         return self._handle_estimate(op, fields)
 
     # -- ANALYZE -------------------------------------------------------
@@ -244,6 +286,8 @@ class StatsServer:
         with self._counts_lock:
             self.degraded_served += 1
         _metrics.inc("repro_serve_degraded_total")
+        if self.telemetry is not None:
+            self.telemetry.record_event("degraded")
         return {
             "summary": stats.summary(),
             "n": stats.n,
@@ -287,6 +331,8 @@ class StatsServer:
             with self._counts_lock:
                 self.degraded_served += 1
             _metrics.inc("repro_serve_degraded_total")
+            if self.telemetry is not None:
+                self.telemetry.record_event("degraded")
         if op == "estimate_range":
             lo, hi = float(fields["lo"]), float(fields["hi"])
             rows = entry.index.estimate_range(lo, hi)
@@ -324,6 +370,71 @@ class StatsServer:
         )
         return payload
 
+    # -- Telemetry endpoints -------------------------------------------
+
+    def _handle_stats(self) -> dict:
+        """The ``stats`` endpoint: logical/wall-split telemetry snapshot.
+
+        The ``logical`` half is interleaving-invariant — byte-identical
+        across client counts for the same request multiset (the CI
+        ``telemetry-smoke`` job diffs it, mirroring the loadgen summary
+        contract); the ``wall`` half holds latency quantiles, per-window
+        values, latency SLOs, and the shift verdict.
+        """
+        with self._counts_lock:
+            requests = dict(sorted(self.request_counts.items()))
+            degraded = self.degraded_served
+            uptime = self.uptime_requests
+        _metrics.set_gauge(
+            "repro_serve_queue_depth", float(self.admission.queue_depth)
+        )
+        logical = {
+            "uptime_requests": uptime,
+            "requests": requests,
+            "degraded_served": degraded,
+            "cache": self.cache.counters(),
+            "admission": self.admission.counters(),
+            "queue_depth": self.admission.queue_depth,
+            "catalog_columns": len(self.auto.manager.catalog),
+            "telemetry": (
+                self.telemetry.logical_summary()
+                if self.telemetry is not None
+                else {"enabled": False}
+            ),
+        }
+        wall = (
+            self.telemetry.wall_summary()
+            if self.telemetry is not None
+            else {}
+        )
+        return {"logical": logical, "wall": wall}
+
+    def _handle_health(self) -> dict:
+        """The ``health`` endpoint: ok until a declared SLO is burning."""
+        burning = (
+            self.telemetry.burning() if self.telemetry is not None else []
+        )
+        with self._counts_lock:
+            uptime = self.uptime_requests
+        return {
+            "status": "degraded" if burning else "ok",
+            "burning": burning,
+            "uptime_requests": uptime,
+            "tables": len(self.tables),
+            "telemetry_enabled": self.telemetry is not None,
+        }
+
+    def _handle_watch(self, cursor: int = 0) -> dict:
+        """The ``watch`` endpoint: windows since *cursor* + next cursor."""
+        if cursor < 0:
+            raise ProtocolError(f"cursor must be >= 0, got {cursor}")
+        if self.telemetry is None:
+            return {
+                "enabled": False, "clock": 0, "cursor": 0,
+                "totals": {}, "windows": {},
+            }
+        return self.telemetry.watch_delta(cursor)
+
     # -- Status --------------------------------------------------------
 
     def status(self) -> dict:
@@ -331,7 +442,10 @@ class StatsServer:
         with self._counts_lock:
             requests = dict(sorted(self.request_counts.items()))
             degraded = self.degraded_served
+            uptime = self.uptime_requests
         return {
+            "uptime_requests": uptime,
+            "telemetry_enabled": self.telemetry is not None,
             "tables": sorted(self.tables),
             "columns": {
                 name: sorted(table.column_names)

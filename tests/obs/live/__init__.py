@@ -1,0 +1,1 @@
+"""Tests for the live-telemetry primitives (repro.obs.live)."""

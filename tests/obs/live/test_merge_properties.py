@@ -1,0 +1,152 @@
+"""Property tests: sketch and window merges are associative/commutative.
+
+The same contract :class:`repro.obs.metrics.MetricsRegistry` carries
+(tests/obs/test_merge_properties.py): any split of one observation stream
+over per-worker instances must merge back to the state of a single
+instance that saw everything — for any chunking and any merge order.
+That is what lets telemetry snapshots aggregate across processes without
+drift.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.live import StreamingQuantileSketch, WindowedTimeseries
+
+# Sketch observations: non-negative values spanning below/inside/above the
+# domain, plus exact zeros (the point mass), with multiplicities.
+sketch_values = st.lists(
+    st.tuples(
+        st.one_of(
+            st.just(0.0),
+            st.floats(
+                min_value=1e-9, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        st.integers(min_value=1, max_value=5),
+    ),
+    max_size=40,
+)
+
+# Window events: (tick, integer amount) so float addition is exact in any
+# association order and the bit-identity assertions hold.
+window_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=40,
+)
+
+
+def _sketch_of(observations):
+    sketch = StreamingQuantileSketch(
+        "serve_request_latency",
+        bucket_budget=32, min_domain=1e-6, max_domain=1e3,
+    )
+    for value, count in observations:
+        sketch.observe(value, count=count)
+    return sketch
+
+
+def _series_of(events):
+    series = WindowedTimeseries(
+        "serve_requests", window_ticks=16, num_windows=4
+    )
+    for tick, amount in events:
+        series.record(float(amount), tick=tick)
+    return series
+
+
+class TestSketchMergeProperties:
+    @given(observations=sketch_values, split=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_split_merges_to_the_serial_sketch(self, observations, split):
+        serial = _sketch_of(observations)
+        cuts = split.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(observations)),
+                max_size=4,
+            )
+        )
+        boundaries = sorted({0, *cuts, len(observations)})
+        merged = _sketch_of([])
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            merged.merge(_sketch_of(observations[lo:hi]))
+        assert merged.to_json() == serial.to_json()
+
+    @given(a=sketch_values, b=sketch_values)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, a, b):
+        left = _sketch_of(a).merge(_sketch_of(b))
+        right = _sketch_of(b).merge(_sketch_of(a))
+        assert left.to_json() == right.to_json()
+
+    @given(a=sketch_values, b=sketch_values, c=sketch_values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        ab_c = _sketch_of(a).merge(_sketch_of(b)).merge(_sketch_of(c))
+        a_bc = _sketch_of(a).merge(_sketch_of(b).merge(_sketch_of(c)))
+        assert ab_c.to_json() == a_bc.to_json()
+
+    @given(observations=sketch_values)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_is_identity(self, observations):
+        sketch = _sketch_of(observations)
+        baseline = sketch.to_json()
+        assert sketch.merge(_sketch_of([])).to_json() == baseline
+
+    @given(observations=sketch_values)
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_round_trip_survives_merging(self, observations):
+        """from_dict(to_dict(s)) is indistinguishable from s under merge
+        — the lossless-snapshot property cross-process shipping needs."""
+        sketch = _sketch_of(observations)
+        clone = StreamingQuantileSketch.from_dict(sketch.to_dict())
+        extra = _sketch_of([(0.5, 2)])
+        assert (
+            clone.merge(extra).to_json()
+            == sketch.copy().merge(extra).to_json()
+        )
+
+
+class TestWindowMergeProperties:
+    @given(events=window_events, split=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_split_merges_to_the_serial_series(self, events, split):
+        serial = _series_of(events)
+        cuts = split.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(events)),
+                max_size=4,
+            )
+        )
+        boundaries = sorted({0, *cuts, len(events)})
+        merged = _series_of([])
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            merged.merge(_series_of(events[lo:hi]))
+        assert merged.to_json() == serial.to_json()
+
+    @given(a=window_events, b=window_events)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes(self, a, b):
+        left = _series_of(a).merge(_series_of(b))
+        right = _series_of(b).merge(_series_of(a))
+        assert left.to_json() == right.to_json()
+
+    @given(a=window_events, b=window_events, c=window_events)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        ab_c = _series_of(a).merge(_series_of(b)).merge(_series_of(c))
+        a_bc = _series_of(a).merge(_series_of(b).merge(_series_of(c)))
+        assert ab_c.to_json() == a_bc.to_json()
+
+    @given(events=window_events)
+    @settings(max_examples=50, deadline=None)
+    def test_arrival_order_never_changes_the_state(self, events):
+        forward = _series_of(events)
+        backward = _series_of(list(reversed(events)))
+        assert forward.to_json() == backward.to_json()

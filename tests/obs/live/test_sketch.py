@@ -1,0 +1,224 @@
+"""StreamingQuantileSketch: determinism, accuracy, byte-stable exports."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyDataError, ParameterError
+from repro.obs.live import StreamingQuantileSketch
+
+NAME = "serve_request_latency"
+
+
+def _sketch(**kwargs):
+    kwargs.setdefault("bucket_budget", 128)
+    kwargs.setdefault("min_domain", 1e-3)
+    kwargs.setdefault("max_domain", 1e3)
+    return StreamingQuantileSketch(NAME, **kwargs)
+
+
+def _nearest_rank(values, q):
+    xs = sorted(values)
+    return xs[max(1, math.ceil(q * len(xs))) - 1]
+
+
+class TestValidation:
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(ParameterError, match="undeclared sketch name"):
+            StreamingQuantileSketch("made_up")
+
+    def test_strict_false_allows_any_name(self):
+        sketch = StreamingQuantileSketch("made_up", strict=False)
+        assert sketch.name == "made_up"
+
+    def test_bad_budget_and_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            _sketch(bucket_budget=0)
+        with pytest.raises(ParameterError):
+            _sketch(min_domain=0.0)
+        with pytest.raises(ParameterError):
+            _sketch(min_domain=2.0, max_domain=1.0)
+
+    def test_bad_values_rejected(self):
+        sketch = _sketch()
+        for bad in (-1.0, math.nan, math.inf):
+            with pytest.raises(ParameterError):
+                sketch.observe(bad)
+        with pytest.raises(ParameterError):
+            sketch.observe(1.0, count=0)
+
+    def test_empty_sketch_has_no_histogram(self):
+        sketch = _sketch()
+        assert sketch.min is None and sketch.max is None
+        with pytest.raises(EmptyDataError):
+            sketch.to_histogram()
+
+
+class TestDeterminism:
+    def test_arrival_order_never_changes_the_state(self):
+        values = [0.004, 7.0, 0.0, 0.25, 0.25, 1e-5, 900.0, 0.03]
+        forward, backward = _sketch(), _sketch()
+        for v in values:
+            forward.observe(v)
+        for v in reversed(values):
+            backward.observe(v)
+        assert forward.to_json() == backward.to_json()
+        assert forward.percentiles() == backward.percentiles()
+
+    def test_repeated_runs_are_bit_identical(self):
+        exports = []
+        for _ in range(2):
+            sketch = _sketch()
+            rng = np.random.default_rng(11)
+            for v in rng.exponential(0.05, size=500):
+                sketch.observe(float(v))
+            exports.append((sketch.to_json(), json.dumps(sketch.percentiles())))
+        assert exports[0] == exports[1]
+
+    def test_merge_order_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        chunks = [rng.exponential(0.05, size=40) for _ in range(4)]
+        sketches = []
+        for chunk in chunks:
+            sketch = _sketch()
+            for v in chunk:
+                sketch.observe(float(v))
+            sketches.append(sketch)
+        serial = _sketch()
+        for chunk in chunks:
+            for v in chunk:
+                serial.observe(float(v))
+        left = sketches[0].copy()
+        for other in sketches[1:]:
+            left.merge(other)
+        right = sketches[-1].copy()
+        for other in reversed(sketches[:-1]):
+            right.merge(other)
+        assert left.to_json() == right.to_json() == serial.to_json()
+        assert left.percentiles() == serial.percentiles()
+
+    def test_mismatched_config_refuses_merge(self):
+        with pytest.raises(ParameterError, match="configs differ"):
+            _sketch().merge(_sketch(bucket_budget=64))
+
+
+class TestExports:
+    def test_round_trip_is_lossless(self):
+        sketch = _sketch()
+        for v in (0.0, 0.0, 3.5e-4, 12.0, 2000.0):
+            sketch.observe(v)
+        clone = StreamingQuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_json() == sketch.to_json()
+        assert clone.min == sketch.min == 0.0
+        # min stays exact through the zero mass: merging the clone onward
+        # must behave exactly like merging the original.
+        more = _sketch()
+        more.observe(5.0)
+        assert (
+            clone.merge(more).to_json()
+            == sketch.copy().merge(more).to_json()
+        )
+
+    def test_copy_can_rename(self):
+        sketch = _sketch()
+        sketch.observe(1.0)
+        frozen = sketch.copy(name="serve_reference_latency")
+        assert frozen.name == "serve_reference_latency"
+        assert frozen.count == 1
+
+    def test_zero_point_mass_is_exact(self):
+        sketch = _sketch()
+        for _ in range(10):
+            sketch.observe(0.0)
+        sketch.observe(1.0)
+        assert sketch.zero_count == 10
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.cdf(0.0) == pytest.approx(10 / 11)
+
+    def test_memory_is_bounded_by_the_budget(self):
+        sketch = _sketch(bucket_budget=16)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(1e-3, 1e3, size=5000):
+            sketch.observe(float(v))
+        assert len(sketch) <= 16 + 1  # grid buckets + optional zero mass
+
+
+def _assert_quantiles_within_gamma(sketch, values):
+    """Every probed quantile answer shares a grid bucket with the exact
+    nearest-rank answer, so they differ by at most a factor of gamma."""
+    slack = 1.0 + 1e-9
+    for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        exact = _nearest_rank(values, q)
+        estimate = sketch.quantile(q)
+        assert estimate <= exact * sketch.gamma * slack
+        assert estimate >= exact / sketch.gamma / slack
+
+
+class TestAccuracy:
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(10, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_stream(self, seed, n):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(1e-3, 1e3, size=n).tolist()
+        sketch = _sketch()
+        for v in values:
+            sketch.observe(v)
+        _assert_quantiles_within_gamma(sketch, values)
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(10, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_zipf_stream(self, seed, n):
+        rng = np.random.default_rng(seed)
+        # Heavy-tailed integer ranks, clamped into the resolved domain.
+        values = np.minimum(
+            rng.zipf(1.5, size=n).astype(float), 1e3
+        ).tolist()
+        sketch = _sketch()
+        for v in values:
+            sketch.observe(v)
+        _assert_quantiles_within_gamma(sketch, values)
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(10, 400),
+        base=st.floats(1e-2, 1e2, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_near_duplicate_stream(self, seed, n, base):
+        rng = np.random.default_rng(seed)
+        values = (base * (1.0 + rng.uniform(-1e-6, 1e-6, size=n))).tolist()
+        sketch = _sketch()
+        for v in values:
+            sketch.observe(v)
+        _assert_quantiles_within_gamma(sketch, values)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rank_error_bounded_by_one_bucket(self, seed):
+        """cdf(quantile(q)) is within one bucket's mass of q."""
+        rng = np.random.default_rng(seed)
+        values = rng.lognormal(0.0, 2.0, size=300)
+        values = np.clip(values, 1e-3, 1e3).tolist()
+        sketch = _sketch()
+        for v in values:
+            sketch.observe(v)
+        heaviest = max(sketch.bucket_masses().values())
+        for q in (0.1, 0.5, 0.9, 0.99):
+            achieved = sketch.cdf(sketch.quantile(q))
+            assert abs(achieved - q) <= (heaviest + 1) / sketch.count
+
+    def test_cdf_is_monotone(self):
+        sketch = _sketch()
+        rng = np.random.default_rng(5)
+        for v in rng.uniform(1e-3, 1e3, size=200):
+            sketch.observe(float(v))
+        probes = np.linspace(1e-3, 1e3, 50)
+        cdf = [sketch.cdf(float(p)) for p in probes]
+        assert all(b >= a - 1e-12 for a, b in zip(cdf, cdf[1:]))
+        assert 0.0 <= min(cdf) and max(cdf) <= 1.0 + 1e-12

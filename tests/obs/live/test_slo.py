@@ -1,0 +1,139 @@
+"""SloTracker burn semantics and the TV-distance shift detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.live import (
+    SloObjective,
+    SloTracker,
+    StreamingQuantileSketch,
+    distribution_shift,
+)
+
+
+def _sketch(values, **kwargs):
+    kwargs.setdefault("bucket_budget", 32)
+    kwargs.setdefault("min_domain", 1e-3)
+    kwargs.setdefault("max_domain", 1e3)
+    sketch = StreamingQuantileSketch("serve_request_latency", **kwargs)
+    for v in values:
+        sketch.observe(v)
+    return sketch
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ParameterError, match="objective kind"):
+            SloObjective("x", "throughput", threshold=1.0)
+        with pytest.raises(ParameterError, match="threshold"):
+            SloObjective("x", "latency", threshold=-1.0)
+        with pytest.raises(ParameterError, match="quantile"):
+            SloObjective("x", "latency", threshold=1.0, quantile=2.0)
+
+    def test_tracker_rejects_duplicates_and_bad_burn(self):
+        objective = SloObjective("x", "latency", threshold=1.0)
+        with pytest.raises(ParameterError, match="duplicate"):
+            SloTracker((objective, objective))
+        with pytest.raises(ParameterError, match="burn_windows"):
+            SloTracker((objective,), burn_windows=0)
+
+
+class TestEvaluate:
+    def test_no_data_withholds_the_verdict(self):
+        tracker = SloTracker(
+            (
+                SloObjective("lat", "latency", threshold=0.1),
+                SloObjective("err", "error_rate", threshold=0.01),
+            )
+        )
+        results = tracker.evaluate()
+        assert [r["name"] for r in results] == ["err", "lat"]  # sorted
+        assert all(not r["evaluated"] for r in results)
+        assert all(r["ok"] is None and r["burn"] == 0 for r in results)
+
+    def test_latency_objective_reads_the_sketch(self):
+        tracker = SloTracker(
+            (SloObjective("lat", "latency", threshold=0.1, quantile=0.5),)
+        )
+        (fast,) = tracker.evaluate(latency_sketch=_sketch([0.01] * 10))
+        assert fast["evaluated"] and fast["ok"]
+        (slow,) = tracker.evaluate(latency_sketch=_sketch([5.0] * 10))
+        assert slow["evaluated"] and not slow["ok"]
+        assert slow["burn"] == 1
+
+    def test_error_rate_objective_reads_the_totals(self):
+        tracker = SloTracker(
+            (SloObjective("err", "error_rate", threshold=0.05),)
+        )
+        (ok,) = tracker.evaluate(requests=100, errors=2)
+        assert ok["ok"] and ok["observed"] == pytest.approx(0.02)
+        (bad,) = tracker.evaluate(requests=100, errors=50)
+        assert not bad["ok"]
+
+    def test_burn_streak_reaches_burning_and_resets(self):
+        tracker = SloTracker(
+            (SloObjective("err", "error_rate", threshold=0.0),),
+            burn_windows=3,
+        )
+        for expected_burn in (1, 2):
+            (r,) = tracker.evaluate(requests=10, errors=1)
+            assert r["burn"] == expected_burn and not r["burning"]
+            assert tracker.burning() == []
+        (r,) = tracker.evaluate(requests=10, errors=1)
+        assert r["burn"] == 3 and r["burning"]
+        assert tracker.burning() == ["err"]
+        # One healthy evaluation resets the streak entirely.
+        (r,) = tracker.evaluate(requests=10, errors=0)
+        assert r["burn"] == 0 and not r["burning"]
+        assert tracker.burning() == []
+
+    def test_no_data_leaves_the_streak_untouched(self):
+        tracker = SloTracker(
+            (SloObjective("err", "error_rate", threshold=0.0),),
+            burn_windows=2,
+        )
+        tracker.evaluate(requests=10, errors=1)
+        tracker.evaluate()  # no traffic: neither advances nor resets
+        (r,) = tracker.evaluate(requests=10, errors=1)
+        assert r["burn"] == 2 and r["burning"]
+
+
+class TestDistributionShift:
+    def test_identical_sketches_have_zero_distance(self):
+        a = _sketch([0.01, 0.5, 2.0] * 20)
+        verdict = distribution_shift(a, a.copy(), min_count=10)
+        assert verdict["evaluated"]
+        assert verdict["tv_distance"] == pytest.approx(0.0)
+        assert not verdict["shifted"]
+
+    def test_disjoint_sketches_have_distance_one(self):
+        a = _sketch([0.01] * 40)
+        b = _sketch([100.0] * 40)
+        verdict = distribution_shift(a, b, epsilon=0.5, min_count=10)
+        assert verdict["tv_distance"] == pytest.approx(1.0)
+        assert verdict["shifted"]
+
+    def test_zero_mass_counts_as_its_own_bucket(self):
+        a = _sketch([0.0] * 40)
+        b = _sketch([0.01] * 40)
+        verdict = distribution_shift(a, b, min_count=10)
+        assert verdict["tv_distance"] == pytest.approx(1.0)
+
+    def test_min_count_withholds_the_verdict(self):
+        a = _sketch([0.01] * 5)
+        b = _sketch([0.01] * 100)
+        verdict = distribution_shift(a, b, min_count=32)
+        assert not verdict["evaluated"]
+        assert verdict["tv_distance"] is None and not verdict["shifted"]
+
+    def test_grid_mismatch_and_bad_params_rejected(self):
+        a = _sketch([1.0] * 40)
+        b = _sketch([1.0] * 40, bucket_budget=16)
+        with pytest.raises(ParameterError, match="grids differ"):
+            distribution_shift(a, b)
+        with pytest.raises(ParameterError, match="epsilon"):
+            distribution_shift(a, a.copy(), epsilon=0.0)
+        with pytest.raises(ParameterError, match="min_count"):
+            distribution_shift(a, a.copy(), min_count=0)

@@ -1,0 +1,109 @@
+"""WindowedTimeseries: ring semantics, logical clock, byte-stable exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.live import WindowedTimeseries
+
+NAME = "serve_requests"
+
+
+def _series(**kwargs):
+    kwargs.setdefault("window_ticks", 10)
+    kwargs.setdefault("num_windows", 3)
+    return WindowedTimeseries(NAME, **kwargs)
+
+
+class TestValidation:
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(ParameterError, match="undeclared series name"):
+            WindowedTimeseries("made_up")
+
+    def test_strict_false_allows_any_name(self):
+        assert WindowedTimeseries("made_up", strict=False).name == "made_up"
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ParameterError):
+            _series(window_ticks=0)
+        with pytest.raises(ParameterError):
+            _series(num_windows=0)
+
+    def test_negative_ticks_rejected(self):
+        series = _series()
+        with pytest.raises(ParameterError):
+            series.advance(-1)
+        with pytest.raises(ParameterError):
+            series.record(1.0, tick=-1)
+
+
+class TestRing:
+    def test_record_defaults_to_the_clock(self):
+        series = _series()
+        series.advance(25)
+        series.record()
+        assert series.windows() == [[2, 1.0]]
+
+    def test_windows_aggregate_by_tick(self):
+        series = _series()
+        for tick in (0, 9, 10, 29):
+            series.record(2.0, tick=tick)
+        assert series.windows() == [[0, 4.0], [1, 2.0], [2, 2.0]]
+        assert series.value(1) == 2.0
+        assert series.rate(1) == pytest.approx(0.2)
+
+    def test_old_windows_expire(self):
+        series = _series()
+        series.record(1.0, tick=0)
+        series.record(1.0, tick=35)  # window 3; cutoff drops window 0
+        assert series.windows() == [[3, 1.0]]
+        assert series.total == 2.0  # lifetime total survives pruning
+        assert series.events == 2
+
+    def test_late_event_in_expired_window_counts_only_toward_totals(self):
+        series = _series()
+        series.advance(35)
+        series.record(1.0, tick=0)
+        assert series.windows() == []
+        assert series.total == 1.0
+
+    def test_advance_is_monotone(self):
+        series = _series()
+        series.advance(30)
+        series.advance(5)
+        assert series.clock == 30
+        assert series.window_index == 3
+
+
+class TestMergeAndExport:
+    def test_merge_matches_serial_recording(self):
+        events = [(0, 1.0), (12, 3.0), (25, 1.0), (31, 2.0)]
+        serial = _series()
+        for tick, amount in events:
+            serial.record(amount, tick=tick)
+        a, b = _series(), _series()
+        for tick, amount in events[:2]:
+            a.record(amount, tick=tick)
+        for tick, amount in events[2:]:
+            b.record(amount, tick=tick)
+        assert a.merge(b).to_json() == serial.to_json()
+
+    def test_mismatched_config_refuses_merge(self):
+        with pytest.raises(ParameterError, match="configs differ"):
+            _series().merge(_series(window_ticks=5))
+
+    def test_round_trip_is_lossless(self):
+        series = _series()
+        for tick in (3, 14, 14, 28):
+            series.record(1.5, tick=tick)
+        clone = WindowedTimeseries.from_dict(series.to_dict())
+        assert clone.to_json() == series.to_json()
+
+    def test_windows_since_cursor(self):
+        series = _series()
+        for tick in (0, 12, 25):
+            series.record(1.0, tick=tick)
+        assert series.windows_since(0) == series.windows()
+        assert series.windows_since(2) == [[2, 1.0]]
+        assert series.windows_since(99) == []

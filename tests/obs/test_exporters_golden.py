@@ -19,7 +19,7 @@ from pathlib import Path
 
 from repro.core.adaptive import cvb_build
 from repro.obs import metrics, trace
-from repro.obs.metrics import render_json, render_text
+from repro.obs.metrics import render_json, render_prom, render_text
 from repro.storage.faults import (
     FaultPolicy,
     FaultyHeapFile,
@@ -75,6 +75,27 @@ class TestGoldenExports:
 
     def test_json_export_matches_golden(self):
         _check_golden("metrics.json", render_json(self.registry))
+
+    def test_prom_export_matches_golden(self):
+        _check_golden("metrics.prom", render_prom(self.registry))
+
+    def test_prom_histograms_are_cumulative_and_closed(self):
+        """Every histogram's +Inf bucket equals its _count sample."""
+        lines = render_prom(self.registry).splitlines()
+        inf = {
+            line.split("{", 1)[0]: float(line.rsplit(" ", 1)[1])
+            for line in lines
+            if 'le="+Inf"' in line
+        }
+        counts = {
+            line.split(" ", 1)[0].removesuffix("_count") + "_bucket":
+                float(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.split(" ", 1)[0].endswith("_count")
+        }
+        assert inf, "no histogram buckets rendered"
+        for name, value in inf.items():
+            assert counts[name] == value
 
     def test_trace_matches_golden(self):
         _check_golden(

@@ -1,0 +1,48 @@
+"""docs/TELEMETRY.md is documented-by-construction: diff it vs the catalog.
+
+Same contract as tests/obs/test_docs.py for OBSERVABILITY.md: every
+declared sketch and series name (``repro.obs.catalog``) must appear in
+docs/TELEMETRY.md in backticks, and the doc must never mention a
+telemetry-shaped name the catalog does not declare.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.obs.catalog import SERIES, SKETCHES
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+DOC = ROOT / "docs" / "TELEMETRY.md"
+
+#: Telemetry names all share the serve_ prefix; backticked mentions of
+#: that shape in the doc must be declared names.
+_TELEMETRY_NAME = re.compile(r"`(serve_[a-z0-9_]+)`")
+
+
+def _doc_names() -> set[str]:
+    return set(_TELEMETRY_NAME.findall(DOC.read_text()))
+
+
+class TestTelemetryDocSync:
+    def test_doc_exists(self):
+        assert DOC.is_file(), "docs/TELEMETRY.md is missing"
+
+    def test_every_sketch_is_documented(self):
+        missing = set(SKETCHES) - _doc_names()
+        assert not missing, f"undocumented sketches: {sorted(missing)}"
+
+    def test_every_series_is_documented(self):
+        missing = set(SERIES) - _doc_names()
+        assert not missing, f"undocumented series: {sorted(missing)}"
+
+    def test_no_phantom_telemetry_names(self):
+        declared = set(SKETCHES) | set(SERIES)
+        phantom = _doc_names() - declared
+        assert not phantom, f"doc mentions undeclared names: {sorted(phantom)}"
+
+    def test_endpoints_are_documented(self):
+        text = DOC.read_text()
+        for endpoint in ("stats", "health", "watch"):
+            assert f"`{endpoint}`" in text, f"endpoint {endpoint} undocumented"

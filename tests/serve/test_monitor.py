@@ -1,0 +1,142 @@
+"""The repro top monitor: fetch, frame rendering, byte-stable snapshots."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.engine.maintenance import RefreshPolicy
+from repro.exceptions import ReproError
+from repro.serve import StatsServer, serve_forever
+from repro.serve.monitor import fetch, render_frame, render_logical_text, run_top
+from repro.serve.protocol import SHUTDOWN_OP
+
+
+def _server(**kwargs):
+    kwargs.setdefault("policy", RefreshPolicy(fraction=0.2, floor_rows=100))
+    kwargs.setdefault("build_params", {"k": 8, "f": 0.3})
+    return StatsServer(
+        {"t": Table("t", {"x": np.arange(20_000)})}, **kwargs
+    )
+
+
+class _InProcessClient:
+    """Monitor-facing shim: request() straight into StatsServer.handle."""
+
+    def __init__(self, server):
+        self.server = server
+
+    def request(self, payload):
+        return self.server.handle(payload)
+
+    def close(self):
+        pass
+
+
+def _drive(server, requests=8):
+    server.handle({"op": "analyze", "table": "t", "column": "x"})
+    for i in range(requests):
+        server.handle(
+            {"op": "estimate_range", "table": "t", "column": "x",
+             "lo": 0.0, "hi": float(100 * (i + 1))}
+        )
+
+
+class TestFetch:
+    def test_fetch_returns_stats_and_health(self):
+        server = _server(telemetry=True)
+        stats, health = fetch(_InProcessClient(server))
+        assert stats["logical"]["telemetry"]["enabled"]
+        assert health["status"] == "ok"
+
+    def test_fetch_raises_on_protocol_failure(self):
+        class _Broken:
+            def request(self, payload):
+                return {"ok": False, "error": "nope", "code": "ProtocolError"}
+
+        with pytest.raises(ReproError, match="monitor request failed"):
+            fetch(_Broken())
+
+
+class TestRendering:
+    def test_frame_mentions_the_key_facts(self):
+        server = _server(telemetry=True)
+        _drive(server)
+        frame = render_frame(*fetch(_InProcessClient(server)))
+        assert "health: ok" in frame
+        assert "uptime_requests=" in frame
+        assert "p50=" in frame and "p99=" in frame
+        assert "serve_requests=" in frame
+        assert "slo:" in frame
+        assert "shift:" in frame
+
+    def test_frame_says_disabled_without_telemetry(self):
+        frame = render_frame(*fetch(_InProcessClient(_server())))
+        assert "telemetry: disabled" in frame
+
+    def test_logical_text_is_byte_stable_across_identical_workloads(self):
+        snapshots = []
+        for _ in range(2):
+            server = _server(seed=9, telemetry=True)
+            _drive(server)
+            stats, _ = fetch(_InProcessClient(server))
+            snapshots.append(render_logical_text(stats))
+        assert snapshots[0] == snapshots[1]
+        # And it is exactly the logical half, nothing from the wall side.
+        parsed = json.loads(snapshots[0])
+        assert "telemetry" in parsed and "latency" not in parsed
+
+    def test_logical_text_excludes_wall_quantiles(self):
+        server = _server(telemetry=True)
+        _drive(server)
+        stats, _ = fetch(_InProcessClient(server))
+        text = render_logical_text(stats)
+        # Wall-only keys (the latency quantile map) never leak through.
+        assert '"p50"' not in text and '"p99"' not in text
+        assert '"windows"' not in text and '"shift"' not in text
+
+
+class TestRunTop:
+    def test_run_top_over_tcp_writes_the_snapshot(self, tmp_path):
+        server = _server(telemetry=True)
+        ready = tmp_path / "ready"
+        thread = threading.Thread(
+            target=serve_forever,
+            args=(server, "127.0.0.1", 0, str(ready)),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 10.0
+        while not ready.exists() and time.time() < deadline:
+            time.sleep(0.01)
+        _, host, port = ready.read_text().split()
+        _drive(server, requests=4)
+
+        out = tmp_path / "logical.json"
+        stream = io.StringIO()
+        code = run_top(
+            host, int(port), once=True, out=str(out), stream=stream
+        )
+        assert code == 0
+        assert "repro serve — health:" in stream.getvalue()
+        snapshot = json.loads(out.read_text())
+        assert snapshot["telemetry"]["enabled"]
+
+        with socket.create_connection((host, int(port))) as sock:
+            sock.sendall(
+                (json.dumps({"op": SHUTDOWN_OP}) + "\n").encode()
+            )
+            sock.makefile("rb").readline()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_run_top_rejects_bad_interval(self):
+        with pytest.raises(ReproError, match="interval"):
+            run_top("127.0.0.1", 1, interval=0.0)

@@ -39,6 +39,15 @@ class TestValidRequests:
         )
         assert fields["q"] == 1
 
+    def test_watch_cursor_passed_through(self):
+        op, fields = validate_request({"op": "watch", "cursor": 3})
+        assert op == "watch"
+        assert fields["cursor"] == 3
+
+    def test_watch_cursor_omittable(self):
+        _, fields = validate_request({"op": "watch"})
+        assert "cursor" not in fields
+
 
 class TestRejection:
     def test_non_dict_rejected(self):
@@ -82,6 +91,19 @@ class TestRejection:
     def test_unknown_fields_rejected(self):
         with pytest.raises(ProtocolError, match="unexpected fields"):
             validate_request({"op": "ping", "extra": 1})
+
+    def test_unknown_fields_rejected_on_telemetry_endpoints(self):
+        for op in ("stats", "health", "watch"):
+            with pytest.raises(ProtocolError, match="unexpected fields"):
+                validate_request({"op": op, "extra": 1})
+
+    def test_watch_cursor_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_request({"op": "watch", "cursor": "0"})
+
+    def test_watch_cursor_bool_rejected(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_request({"op": "watch", "cursor": True})
 
 
 class TestDeclarations:

@@ -1,0 +1,232 @@
+"""Server telemetry: stats/health/watch endpoints, RNG-inertness, burn."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.engine.maintenance import RefreshPolicy
+from repro.obs import metrics
+from repro.obs.live import SloObjective
+from repro.serve import LoadGenerator, LoadProfile, ServerTelemetry, StatsServer
+
+
+def _server(**kwargs):
+    kwargs.setdefault("policy", RefreshPolicy(fraction=0.2, floor_rows=100))
+    kwargs.setdefault("build_params", {"k": 8, "f": 0.3})
+    return StatsServer(
+        {"t": Table("t", {"x": np.arange(20_000)})}, **kwargs
+    )
+
+
+def _ok(response):
+    assert response["ok"], response
+    return response["result"]
+
+
+def _drive(server, requests=12):
+    """One build plus a deterministic little estimate workload."""
+    _ok(server.handle({"op": "analyze", "table": "t", "column": "x"}))
+    for i in range(requests):
+        _ok(server.handle(
+            {"op": "estimate_range", "table": "t", "column": "x",
+             "lo": 0.0, "hi": float(100 * (i + 1))}
+        ))
+
+
+class TestEndpointsDisabled:
+    def test_stats_reports_telemetry_disabled(self):
+        server = _server()
+        stats = _ok(server.handle({"op": "stats"}))
+        assert stats["logical"]["telemetry"] == {"enabled": False}
+        assert stats["wall"] == {}
+        # The invariant counters are live even without telemetry.
+        assert stats["logical"]["uptime_requests"] == 1
+        assert stats["logical"]["requests"] == {"stats": 1}
+
+    def test_health_is_ok_without_telemetry(self):
+        health = _ok(_server().handle({"op": "health"}))
+        assert health == {
+            "status": "ok", "burning": [], "uptime_requests": 1,
+            "tables": 1, "telemetry_enabled": False,
+        }
+
+    def test_watch_reports_disabled(self):
+        watch = _ok(_server().handle({"op": "watch"}))
+        assert watch == {
+            "enabled": False, "clock": 0, "cursor": 0,
+            "totals": {}, "windows": {},
+        }
+
+
+class TestEndpointsEnabled:
+    def test_stats_splits_logical_and_wall(self):
+        server = _server(telemetry=True)
+        _drive(server)
+        stats = _ok(server.handle({"op": "stats"}))
+        logical = stats["logical"]["telemetry"]
+        assert logical["enabled"]
+        # The stats request itself has ticked the clock but not finished.
+        assert logical["clock"] == 14
+        assert logical["latency_count"] == 13
+        assert logical["series_totals"]["serve_requests"] == 13.0
+        assert logical["series_totals"]["serve_errors"] == 0.0
+        # The logical half carries only error-rate SLO verdicts; latency
+        # verdicts (wall-clock dependent) live on the wall side.
+        assert {v["kind"] for v in logical["slo"]} == {"error_rate"}
+        wall = stats["wall"]
+        assert wall["latency"]["count"] == 13
+        assert 0.0 <= wall["latency"]["p50"] <= wall["latency"]["p99"]
+        assert {v["kind"] for v in wall["slo"]} == {"latency"}
+        assert "shift" in wall
+
+    def test_health_reports_telemetry_enabled(self):
+        server = _server(telemetry=True)
+        health = _ok(server.handle({"op": "health"}))
+        assert health["status"] == "ok"
+        assert health["telemetry_enabled"]
+
+    def test_status_carries_uptime_and_telemetry_flag(self):
+        server = _server(telemetry=True)
+        server.handle({"op": "ping"})
+        status = _ok(server.handle({"op": "status"}))
+        assert status["uptime_requests"] == 2
+        assert status["telemetry_enabled"] is True
+        assert _ok(_server().handle({"op": "status"}))[
+            "telemetry_enabled"
+        ] is False
+
+    def test_watch_cursor_progression(self):
+        server = _server(telemetry=ServerTelemetry(window_ticks=4))
+        _drive(server, requests=7)  # 8 requests -> clock 8, window 2
+        first = _ok(server.handle({"op": "watch"}))
+        assert first["enabled"] and first["window_ticks"] == 4
+        # The in-flight watch request itself has not finished yet.
+        assert first["totals"]["serve_requests"] == 8.0
+        assert first["windows"]["serve_requests"]  # everything since 0
+        follow = _ok(server.handle(
+            {"op": "watch", "cursor": first["cursor"]}
+        ))
+        # Nothing new past the cursor yet: only the current partial window.
+        assert all(
+            index >= first["cursor"] - 1
+            for index, _ in follow["windows"]["serve_requests"]
+        )
+
+    def test_watch_rejects_negative_cursor(self):
+        response = _server(telemetry=True).handle(
+            {"op": "watch", "cursor": -1}
+        )
+        assert not response["ok"]
+        assert response["code"] == "ProtocolError"
+        assert "cursor" in response["error"]
+
+    def test_error_requests_feed_the_error_series(self):
+        server = _server(telemetry=True)
+        server.handle({"op": "status"})
+        assert not server.handle(
+            {"op": "estimate_distinct", "table": "nope", "column": "x"}
+        )["ok"]
+        stats = _ok(server.handle({"op": "stats"}))
+        totals = stats["logical"]["telemetry"]["series_totals"]
+        assert totals["serve_errors"] == 1.0
+        assert totals["serve_requests"] == 2.0  # stats still in flight
+
+    def test_cache_events_mirror_the_cache_counters(self):
+        server = _server(telemetry=True)
+        _drive(server, requests=3)  # 1 install (a miss) + 3 hits
+        stats = _ok(server.handle({"op": "stats"}))
+        totals = stats["logical"]["telemetry"]["series_totals"]
+        counters = server.cache.counters()
+        assert totals["serve_cache_hits"] == float(counters["hits"]) == 3.0
+        assert totals["serve_cache_misses"] == float(counters["misses"])
+
+
+class TestDeterminism:
+    def test_telemetry_is_rng_inert(self):
+        """Identical logical loadgen summaries with telemetry on and off."""
+        summaries = []
+        for telemetry in (False, True):
+            server = _server(seed=7, telemetry=telemetry)
+            result = LoadGenerator(
+                server=server,
+                profile=LoadProfile(requests=60, clients=3, seed=1),
+            ).run()
+            summaries.append(
+                json.dumps(result["logical"], sort_keys=True)
+            )
+        assert summaries[0] == summaries[1]
+
+    def test_logical_stats_identical_across_client_counts(self):
+        """The acceptance criterion: the stats endpoint's logical half is
+        byte-identical for the same workload at different client counts."""
+        snapshots = []
+        for clients in (2, 5):
+            server = _server(seed=3, telemetry=True)
+            LoadGenerator(
+                server=server,
+                profile=LoadProfile(requests=80, clients=clients, seed=5),
+            ).run()
+            stats = _ok(server.handle({"op": "stats"}))
+            snapshots.append(
+                json.dumps(stats["logical"], sort_keys=True)
+            )
+        assert snapshots[0] == snapshots[1]
+
+    def test_answers_identical_with_telemetry_enabled(self):
+        results = []
+        for telemetry in (False, True):
+            server = _server(seed=0, telemetry=telemetry)
+            _ok(server.handle(
+                {"op": "analyze", "table": "t", "column": "x"}
+            ))
+            results.append(_ok(server.handle(
+                {"op": "estimate_range", "table": "t", "column": "x",
+                 "lo": 0.0, "hi": 5_000.0}
+            )))
+        assert results[0] == results[1]
+
+
+class TestSloBurn:
+    def test_burning_objective_degrades_health(self):
+        telemetry = ServerTelemetry(
+            objectives=(
+                SloObjective("error_rate", "error_rate", threshold=0.0),
+            ),
+            burn_windows=2,
+        )
+        server = _server(telemetry=telemetry)
+        assert not server.handle(
+            {"op": "estimate_distinct", "table": "nope", "column": "x"}
+        )["ok"]
+        # Each stats request evaluates the error-rate objectives once.
+        server.handle({"op": "stats"})
+        assert _ok(server.handle({"op": "health"}))["status"] == "ok"
+        server.handle({"op": "stats"})
+        health = _ok(server.handle({"op": "health"}))
+        assert health["status"] == "degraded"
+        assert health["burning"] == ["error_rate"]
+
+    def test_reference_sketch_freezes_at_min_count(self):
+        server = _server(telemetry=ServerTelemetry(shift_min_count=4))
+        stats = _ok(server.handle({"op": "stats"}))
+        assert not stats["wall"]["shift"]["reference_frozen"]
+        _drive(server, requests=4)
+        stats = _ok(server.handle({"op": "stats"}))
+        shift = stats["wall"]["shift"]
+        assert shift["reference_frozen"]
+        assert shift["evaluated"]
+        assert 0.0 <= shift["tv_distance"] <= 1.0
+
+
+class TestGauges:
+    def test_uptime_and_queue_depth_gauges(self):
+        with metrics.collecting() as registry:
+            server = _server(telemetry=True)
+            _drive(server, requests=2)
+            _ok(server.handle({"op": "stats"}))
+            assert registry.gauge_value("repro_serve_uptime_requests") == 4.0
+            assert registry.gauge_value("repro_serve_queue_depth") == 0.0
