@@ -537,10 +537,12 @@ async def _serve_async(
     if ready_path is not None:
         from ..durability import atomic_write_text
 
-        atomic_write_text(ready_path, announce + "\n")
+        # fsync + rename off the event loop: a slow disk must not stall
+        # the accept loop while clients are already connecting.
+        await asyncio.to_thread(atomic_write_text, ready_path, announce + "\n")
     async with tcp:
         await stop.wait()
-    server.checkpoint()
+    await asyncio.to_thread(server.checkpoint)
 
 
 def serve_forever(
