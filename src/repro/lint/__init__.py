@@ -9,16 +9,21 @@ package makes those invariants *statically checkable* before any test
 runs: an AST-based engine (:mod:`repro.lint.engine`) walks every module
 under ``src/repro`` (plus the repo's Markdown docs) and applies a
 project-specific rule set (:mod:`repro.lint.rules`,
-:mod:`repro.lint.docrules`).
+:mod:`repro.lint.docrules`), while the whole-program flow layer
+(:mod:`repro.lint.symbols` → :mod:`repro.lint.callgraph` →
+:mod:`repro.lint.flowrules`) tracks seed provenance and asyncio races
+across module boundaries.
 
 Entry points
 ------------
 
 - ``python -m repro lint [--format text|json] [--rules ...]
-  [--baseline FILE]`` — the CLI gate (see :mod:`repro.cli`);
+  [--baseline FILE] [--flow] [--graph FILE] [--changed-only]`` — the CLI
+  gate (see :mod:`repro.cli`);
 - :func:`run_lint` — lint the repo (or an explicit file list) in-process;
 - :func:`lint_text` — lint one source string under a chosen relative path
-  (how the rule unit tests drive single fixtures).
+  (how the rule unit tests drive single fixtures);
+- :func:`changed_files` — the git-diff file set behind ``--changed-only``.
 
 Suppressions are inline: ``# repro: noqa[DET002]`` on the offending line,
 optionally followed by a justification.  Suppressions that match no
@@ -34,6 +39,7 @@ from .engine import (
     LintReport,
     Rule,
     RULES,
+    changed_files,
     default_root,
     lint_text,
     rule_ids,
@@ -57,6 +63,7 @@ __all__ = [
     "rule_ids",
     "run_lint",
     "lint_text",
+    "changed_files",
     "default_root",
     "LINT_SCHEMA_VERSION",
     "render_text",

@@ -1,0 +1,378 @@
+"""Project call graph over the lint symbol table.
+
+Edges connect *function units* — module-level functions and class
+methods, identified by fully-qualified dotted names like
+``repro.serve.server.StatsServer.checkpoint``.  Resolution is
+deliberately conservative (a static analyzer that guesses produces
+false positives, and this repo's lint gate runs at zero findings):
+
+- ``name(...)`` resolves through the module's import table and its own
+  top-level defs; constructor calls land on ``Class.__init__``.
+- ``self.method(...)`` resolves within the enclosing class, then its
+  same-project bases.
+- ``self.attr.method(...)`` resolves through the class's inferred
+  attribute types (collected from ``self.attr = ClassName(...)``
+  assignments and annotated constructor parameters).
+- ``var.method(...)`` resolves through local type inference: annotated
+  parameters, ``x = ClassName(...)`` assignments (including walrus
+  targets) and ``with ClassName(...) as x`` bindings.
+
+Anything unresolved becomes an *external* edge carrying the resolved
+dotted name (``time.sleep``, ``numpy.random.default_rng``) when one
+exists, or no edge at all — the flow rules treat absence as unknown,
+never as proof.  :func:`CallGraph.to_dot` renders the project subgraph
+deterministically for ``repro lint --graph``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .symbols import ClassInfo, ModuleSummary, SymbolTable
+
+__all__ = ["CallEdge", "FunctionUnit", "CallGraph", "build_call_graph"]
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _annotation_heads(node: ast.AST | None) -> list[str]:
+    """Candidate class names in an annotation (unwraps ``X | None`` etc.)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_heads(node.left) + _annotation_heads(node.right)
+    if isinstance(node, ast.Subscript):  # Optional[X] / list[X] — look in
+        return _annotation_heads(node.slice)
+    if isinstance(node, ast.Tuple):
+        heads: list[str] = []
+        for elt in node.elts:
+            heads.extend(_annotation_heads(elt))
+        return heads
+    name = _dotted(node)
+    return [name] if name and name != "None" else []
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: *caller* invokes *callee* at *lineno*."""
+
+    caller: str
+    callee: str
+    lineno: int
+    external: bool
+    node: ast.Call = field(compare=False, hash=False, repr=False)
+
+
+@dataclass
+class FunctionUnit:
+    """One analyzable function: a module-level def or a class method."""
+
+    qualname: str
+    module: ModuleSummary
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner: ClassInfo | None = None
+
+    @property
+    def is_async(self) -> bool:
+        """True for ``async def`` units (the CON1xx rule scope)."""
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def params(self) -> list[str]:
+        """Positional parameter names, ``self``/``cls`` included."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus the function-unit and type indexes."""
+
+    table: SymbolTable
+    units: dict[str, FunctionUnit] = field(default_factory=dict)
+    edges: list[CallEdge] = field(default_factory=list)
+    #: class qualname -> attr name -> candidate class qualnames.
+    attr_types: dict[str, dict[str, set[str]]] = field(default_factory=dict)
+    by_caller: dict[str, list[CallEdge]] = field(default_factory=dict)
+    by_callee: dict[str, list[CallEdge]] = field(default_factory=dict)
+
+    def callers_of(self, qualname: str) -> list[CallEdge]:
+        """Edges whose callee is *qualname*."""
+        return self.by_callee.get(qualname, [])
+
+    def calls_from(self, qualname: str) -> list[CallEdge]:
+        """Edges whose caller is *qualname*."""
+        return self.by_caller.get(qualname, [])
+
+    def to_dot(self, include_external: bool = False) -> str:
+        """Deterministic Graphviz rendering of the call graph."""
+        lines = ["digraph repro_calls {", "  rankdir=LR;",
+                 '  node [shape=box, fontsize=9];']
+        project = sorted(self.units)
+        for name in project:
+            style = ', style=filled, fillcolor="#e8f0fe"' if (
+                self.units[name].is_async
+            ) else ""
+            lines.append(f'  "{name}" [label="{name}"{style}];')
+        seen: set[tuple[str, str, bool]] = set()
+        for edge in sorted(
+            self.edges, key=lambda e: (e.caller, e.callee, e.external)
+        ):
+            if edge.external and not include_external:
+                continue
+            key = (edge.caller, edge.callee, edge.external)
+            if key in seen:
+                continue
+            seen.add(key)
+            attrs = ' [style=dashed, color=gray]' if edge.external else ""
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}"{attrs};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+class _UnitResolver:
+    """Resolves the call sites of one function unit."""
+
+    def __init__(self, graph: CallGraph, unit: FunctionUnit):
+        self.graph = graph
+        self.unit = unit
+        self.module = unit.module
+        self.local_types = self._infer_local_types()
+
+    def _project_class(self, dotted: str) -> str | None:
+        """Class qualname when *dotted* (local form) names a project class."""
+        resolved = self.module.resolve_local(dotted)
+        hit = self.graph.table.resolve_symbol(resolved)
+        if hit is None:
+            return None
+        summary, symbol = hit
+        if symbol and symbol in summary.classes:
+            return f"{summary.name}.{symbol}"
+        return None
+
+    def _infer_local_types(self) -> dict[str, str]:
+        """Variable name → project-class qualname, best effort."""
+        env: dict[str, str] = {}
+        args = self.unit.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            for head in _annotation_heads(arg.annotation):
+                qual = self._project_class(head)
+                if qual is not None:
+                    env[arg.arg] = qual
+                    break
+        for node in ast.walk(self.unit.node):
+            if isinstance(node, ast.Assign):
+                qual = self._expr_class(node.value)
+                if qual is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = qual
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    qual = None
+                    if node.value is not None:
+                        qual = self._expr_class(node.value)
+                    if qual is None:
+                        for head in _annotation_heads(node.annotation):
+                            qual = self._project_class(head)
+                            if qual is not None:
+                                break
+                    if qual is not None:
+                        env[node.target.id] = qual
+            elif isinstance(node, ast.NamedExpr):
+                # Walrus targets bind like assignments: (x := Cls(...)).
+                if isinstance(node.target, ast.Name):
+                    qual = self._expr_class(node.value)
+                    if qual is not None:
+                        env[node.target.id] = qual
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is None or not isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        continue
+                    qual = self._expr_class(item.context_expr)
+                    if qual is not None:
+                        env[item.optional_vars.id] = qual
+        return env
+
+    def _expr_class(self, expr: ast.AST) -> str | None:
+        """Project class constructed by *expr*, scanning into ternaries."""
+        if isinstance(expr, ast.IfExp):
+            return (
+                self._expr_class(expr.body) or self._expr_class(expr.orelse)
+            )
+        if isinstance(expr, ast.Call):
+            name = _dotted(expr.func)
+            if name is not None:
+                return self._project_class(name)
+        return None
+
+    def _method_edge(
+        self, cls_qual: str, method: str, _depth: int = 0
+    ) -> str | None:
+        """Qualname of *method* on *cls_qual* or a same-project base."""
+        if _depth > 6:
+            return None
+        hit = self.graph.table.resolve_symbol(cls_qual)
+        if hit is None:
+            return None
+        summary, symbol = hit
+        info = summary.classes.get(symbol)
+        if info is None:
+            return None
+        if method in info.methods:
+            return f"{summary.name}.{symbol}.{method}"
+        for base in info.bases:
+            base_qual = summary.resolve_local(base)
+            found = self._method_edge(base_qual, method, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def resolve_call(self, call: ast.Call) -> tuple[str, bool] | None:
+        """(callee qualname, external flag) for one call, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_plain(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        # self.method(...) and self.attr.method(...)
+        if self.unit.owner is not None:
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                own = (
+                    f"{self.module.name}.{self.unit.owner.name}"
+                )
+                target = self._method_edge(own, func.attr)
+                if target is not None:
+                    return (target, False)
+                return (f"{own}.{func.attr}", True)
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                own = f"{self.module.name}.{self.unit.owner.name}"
+                for cand in sorted(
+                    self.graph.attr_types.get(own, {}).get(base.attr, ())
+                ):
+                    target = self._method_edge(cand, func.attr)
+                    if target is not None:
+                        return (target, False)
+        # var.method(...) through local type inference.
+        if isinstance(func.value, ast.Name):
+            cls_qual = self.local_types.get(func.value.id)
+            if cls_qual is not None:
+                target = self._method_edge(cls_qual, func.attr)
+                if target is not None:
+                    return (target, False)
+        # Fully-dotted chains: module attr access or imported names.
+        name = _dotted(func)
+        if name is None:
+            return None
+        return self._resolve_plain(name)
+
+    def _resolve_plain(self, dotted: str) -> tuple[str, bool] | None:
+        head = dotted.split(".", 1)[0]
+        known = (
+            head in self.module.imports
+            or head in self.module.classes
+            or head in self.module.functions
+        )
+        resolved = self.module.resolve_local(dotted)
+        hit = self.graph.table.resolve_symbol(resolved)
+        if hit is not None:
+            summary, symbol = hit
+            if symbol in summary.functions:
+                return (f"{summary.name}.{symbol}", False)
+            if symbol in summary.classes:
+                info = summary.classes[symbol]
+                if "__init__" in info.methods:
+                    return (f"{summary.name}.{symbol}.__init__", False)
+                return (f"{summary.name}.{symbol}", False)
+            return None
+        if head in self.local_types:
+            return None  # a method chain handled above, not a module path
+        if known or head == dotted or "." in dotted:
+            # Imported externals (time.sleep) and bare builtins (open).
+            return (resolved, True)
+        return (resolved, True)
+
+
+def _collect_attr_types(graph: CallGraph) -> None:
+    """Populate ``attr_types`` from ``self.attr = ...`` assignments."""
+    for unit in graph.units.values():
+        if unit.owner is None:
+            continue
+        resolver = _UnitResolver(graph, unit)
+        own = f"{unit.module.name}.{unit.owner.name}"
+        slot = graph.attr_types.setdefault(own, {})
+        for node in ast.walk(unit.node):
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                cands: set[str] = set()
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Call):
+                        name = _dotted(sub.func)
+                        if name is not None:
+                            qual = resolver._project_class(name)
+                            if qual is not None:
+                                cands.add(qual)
+                if isinstance(value, ast.Name):
+                    typed = resolver.local_types.get(value.id)
+                    if typed is not None:
+                        cands.add(typed)
+                if cands:
+                    slot.setdefault(target.attr, set()).update(cands)
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Build the project call graph for every unit in *table*."""
+    graph = CallGraph(table=table)
+    for module in sorted(table.modules.values(), key=lambda m: m.name):
+        for fn in module.functions.values():
+            qual = f"{module.name}.{fn.name}"
+            graph.units[qual] = FunctionUnit(qual, module, fn)
+        for info in module.classes.values():
+            for meth in info.methods.values():
+                qual = f"{module.name}.{info.name}.{meth.name}"
+                graph.units[qual] = FunctionUnit(qual, module, meth, info)
+    _collect_attr_types(graph)
+    for qual in sorted(graph.units):
+        unit = graph.units[qual]
+        resolver = _UnitResolver(graph, unit)
+        for node in ast.walk(unit.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolver.resolve_call(node)
+            if resolved is None:
+                continue
+            callee, external = resolved
+            edge = CallEdge(qual, callee, node.lineno, external, node)
+            graph.edges.append(edge)
+            graph.by_caller.setdefault(qual, []).append(edge)
+            graph.by_callee.setdefault(callee, []).append(edge)
+    return graph

@@ -52,6 +52,7 @@ __all__ = [
     "load_obs_catalog",
     "python_files",
     "markdown_files",
+    "changed_files",
     "run_lint",
     "lint_text",
 ]
@@ -159,7 +160,13 @@ def load_obs_catalog(root: pathlib.Path) -> ObsCatalog:
 
 @dataclass
 class LintContext:
-    """Everything a rule may inspect about one file (parsed once)."""
+    """Everything a rule may inspect about one file (parsed once).
+
+    ``project`` is the whole-program :class:`~repro.lint.flowrules.
+    ProjectModel` (symbol table + call graph); it is only populated when
+    a selected rule declares ``requires_flow`` — per-module rules never
+    pay for it.
+    """
 
     rel_path: str
     source: str
@@ -167,6 +174,7 @@ class LintContext:
     tree: ast.AST | None
     root: pathlib.Path
     catalog: ObsCatalog
+    project: object | None = None
 
 
 class Rule:
@@ -194,6 +202,10 @@ class Rule:
     engine_managed:
         True for rules the engine emits itself (``NOQA001``); their
         :meth:`check` is never called.
+    requires_flow:
+        True for whole-program rules (SEED1xx/CON1xx) that need the
+        project model; they only run under ``--flow`` or when selected
+        explicitly via ``--rules``.
     """
 
     id: str = ""
@@ -204,6 +216,7 @@ class Rule:
     targets: str = "python"
     paths: tuple[str, ...] | None = None
     engine_managed: bool = False
+    requires_flow: bool = False
 
     def applies_to(self, rel_path: str) -> bool:
         """Does this rule run on the file at *rel_path*?"""
@@ -287,13 +300,16 @@ class LintReport:
 
     ``files`` and ``nodes`` (AST nodes for Python files, scanned lines for
     Markdown) are the deterministic work measure the bench harness tracks;
-    ``findings`` is sorted by position.
+    ``findings`` is sorted by position.  ``flow`` carries the project
+    model's work counters (modules, call edges) when the flow analysis
+    ran, else None.
     """
 
     findings: list[Finding] = field(default_factory=list)
     files: int = 0
     nodes: int = 0
     rules: list[str] = field(default_factory=list)
+    flow: dict | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -301,9 +317,15 @@ class LintReport:
         return [f for f in self.findings if f.severity == "error"]
 
 
-def _resolve_rules(rules: Iterable[str] | None) -> list[Rule]:
+def _resolve_rules(
+    rules: Iterable[str] | None, flow: bool = False
+) -> list[Rule]:
     if rules is None:
-        return [r for r in RULES.values() if not r.engine_managed]
+        return [
+            r
+            for r in RULES.values()
+            if not r.engine_managed and (flow or not r.requires_flow)
+        ]
     selected = []
     for rule_id in rules:
         if rule_id not in RULES:
@@ -415,6 +437,7 @@ def run_lint(
     root: pathlib.Path | str | None = None,
     rules: Iterable[str] | None = None,
     paths: Iterable[pathlib.Path | str] | None = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint the repo at *root* (default: this checkout) and report.
 
@@ -422,10 +445,17 @@ def run_lint(
     *paths* overrides file discovery with an explicit list (each entry is
     reported relative to *root*).  Python rules run on ``src/repro``
     modules, Markdown rules on the :func:`markdown_files` doc set.
+    ``flow=True`` additionally enables the whole-program SEED1xx/CON1xx
+    rules (the project model is built once and shared across files).
     """
     root = pathlib.Path(root) if root is not None else default_root()
-    selected = _resolve_rules(rules)
+    selected = _resolve_rules(rules, flow=flow)
     catalog = load_obs_catalog(root)
+    project = None
+    if any(r.requires_flow for r in selected):
+        from .flowrules import get_project
+
+        project = get_project(root)
 
     if paths is None:
         py_files = (
@@ -444,10 +474,13 @@ def run_lint(
         md_files = [p for p in resolved if p.suffix == ".md"]
 
     report = LintReport(rules=[r.id for r in selected])
+    if project is not None:
+        report.flow = project.work_measure
     for path in py_files:
         source = path.read_text()
         rel = path.resolve().relative_to(root.resolve()).as_posix()
         ctx = _lint_context(rel, source, root, catalog, parse=True)
+        ctx.project = project
         report.files += 1
         report.nodes += sum(1 for _ in ast.walk(ctx.tree))
         report.findings.extend(_check_file(ctx, selected, "python"))
@@ -468,19 +501,26 @@ def lint_text(
     root: pathlib.Path | str | None = None,
     rules: Iterable[str] | None = None,
     catalog: ObsCatalog | None = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint one Python source string as if it lived at *rel_path*.
 
     The unit-test entry point: rules whose ``paths`` scope depends on the
     location (``DET004``, ``FLT001``) can be exercised by choosing
     *rel_path* accordingly.  *catalog* overrides the OBS001 catalog
-    (default: extracted from *root*).
+    (default: extracted from *root*).  When a flow rule is selected (or
+    ``flow=True``), a single-module project model is built from just
+    this source, so SEED/CON fixtures lint without a repo on disk.
     """
     root = pathlib.Path(root) if root is not None else default_root()
     if catalog is None:
         catalog = load_obs_catalog(root)
-    selected = _resolve_rules(rules)
+    selected = _resolve_rules(rules, flow=flow)
     ctx = _lint_context(rel_path, source, root, catalog, parse=True)
+    if any(r.requires_flow for r in selected):
+        from .flowrules import get_project
+
+        ctx.project = get_project(root, sources={rel_path: source})
     report = LintReport(rules=[r.id for r in selected], files=1)
     report.nodes = sum(1 for _ in ast.walk(ctx.tree))
     report.findings.extend(_check_file(ctx, selected, "python"))
@@ -488,7 +528,56 @@ def lint_text(
     return report
 
 
+def changed_files(root: pathlib.Path | str | None = None) -> list[pathlib.Path]:
+    """Lintable files changed versus the merge-base with ``main``.
+
+    The fast pre-push loop behind ``repro lint --changed-only``: asks git
+    for the merge-base of ``HEAD`` with ``origin/main`` (falling back to
+    a local ``main``), diffs the worktree against it, adds untracked
+    files, and keeps only paths the lint engine would discover anyway
+    (``src/repro`` Python plus the Markdown doc set).
+    """
+    import subprocess
+
+    root = pathlib.Path(root) if root is not None else default_root()
+
+    def _git(*args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            ["git", *args], cwd=root, capture_output=True, text=True
+        )
+
+    base = None
+    for ref in ("origin/main", "main"):
+        proc = _git("merge-base", "HEAD", ref)
+        if proc.returncode == 0:
+            base = proc.stdout.strip()
+            break
+    if base is None:
+        raise ReproError(
+            f"cannot find a merge-base with main under {root}; "
+            "--changed-only needs a git checkout with a main branch"
+        )
+    names: set[str] = set()
+    diff = _git("diff", "--name-only", base)
+    if diff.returncode != 0:
+        raise ReproError(f"git diff failed under {root}: {diff.stderr.strip()}")
+    names.update(line for line in diff.stdout.splitlines() if line)
+    untracked = _git("ls-files", "--others", "--exclude-standard")
+    if untracked.returncode == 0:
+        names.update(line for line in untracked.stdout.splitlines() if line)
+
+    lintable = {p.resolve() for p in python_files(root)}
+    lintable.update(p.resolve() for p in markdown_files(root))
+    changed = []
+    for name in sorted(names):
+        path = (root / name).resolve()
+        if path.exists() and path in lintable:
+            changed.append(root / name)
+    return changed
+
+
 # Register the project rule set (imports at the bottom so the modules can
 # import this one for the Rule base class without a cycle).
 from . import docrules as _docrules  # noqa: E402,F401
 from . import rules as _rules  # noqa: E402,F401
+from . import flowrules as _flowrules  # noqa: E402,F401

@@ -1,0 +1,285 @@
+"""Project-wide symbol table for whole-program lint analysis.
+
+The per-module rules (:mod:`repro.lint.rules`) see one file at a time;
+the flow rules (:mod:`repro.lint.flowrules`) need to know what a dotted
+name *means* across module boundaries — which module a ``from .cache
+import StatsCache`` lands in, which class a constructor call builds,
+which function a call resolves to.  This module builds that map:
+
+- :class:`ModuleSummary` — one parsed module: its dotted name, import
+  alias table (relative imports resolved against the package layout),
+  top-level functions and classes, and a content hash.
+- :class:`SymbolTable` — every module under ``src/repro`` keyed by
+  dotted name, with qualified-name resolution that follows package
+  re-exports (``repro.serve.StatsServer`` → ``repro.serve.server``).
+
+Summaries are cached process-wide by ``(rel_path, file_hash)`` so
+repeated builds — the bench scenario runs the full analysis several
+times — only re-parse modules whose content actually changed.  The
+:attr:`SymbolTable.analyzed` list records which modules were parsed
+fresh on this build; the cache-invalidation test asserts that editing
+one module re-analyzes only that module.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pathlib
+from dataclasses import dataclass, field
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "ClassInfo",
+    "ModuleSummary",
+    "SymbolTable",
+    "build_symbol_table",
+    "clear_summary_cache",
+    "module_name_for",
+]
+
+#: Process-wide summary cache: rel_path -> (file_hash, summary).
+_SUMMARY_CACHE: dict[str, tuple[str, "ModuleSummary"]] = {}
+
+
+def clear_summary_cache() -> None:
+    """Drop every cached module summary (test isolation hook)."""
+    _SUMMARY_CACHE.clear()
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative ``src/...`` posix path.
+
+    ``src/repro/serve/server.py`` → ``repro.serve.server``;
+    ``src/repro/serve/__init__.py`` → ``repro.serve``.
+    """
+    parts = pathlib.PurePosixPath(rel_path).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        raise ParameterError(f"cannot derive a module name from {rel_path!r}")
+    return ".".join(parts)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases as written, plus its methods."""
+
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the analyzer keeps about one parsed module."""
+
+    name: str
+    rel_path: str
+    is_package: bool
+    file_hash: str
+    tree: ast.Module
+    #: local alias -> fully-qualified dotted target (module or module.attr).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    docstring: str | None = None
+
+    def resolve_local(self, dotted: str) -> str:
+        """Expand the leading segment of *dotted* through this module.
+
+        Imported aliases win; otherwise a module-level class or function
+        name qualifies to ``<module>.<name>``; anything else (builtins,
+        locals the caller should have resolved already) passes through
+        unchanged.
+        """
+        head, _, rest = dotted.partition(".")
+        if head in self.imports:
+            base = self.imports[head]
+        elif head in self.classes or head in self.functions:
+            base = f"{self.name}.{head}"
+        else:
+            base = head
+        return f"{base}.{rest}" if rest else base
+
+
+def _hash_source(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _resolve_relative(name: str, is_package: bool, level: int,
+                      module: str | None) -> str | None:
+    """Absolute dotted target of a ``from ...x import`` statement."""
+    parts = name.split(".")
+    anchor = parts if is_package else parts[:-1]
+    if level > 1:
+        if level - 1 > len(anchor):
+            return None
+        anchor = anchor[: len(anchor) - (level - 1)]
+    target = ".".join(anchor)
+    if module:
+        target = f"{target}.{module}" if target else module
+    return target or None
+
+
+def _summarize(rel_path: str, source: str, file_hash: str) -> ModuleSummary:
+    """Parse one module and extract its import/def surface."""
+    is_package = rel_path.endswith("__init__.py")
+    name = module_name_for(rel_path)
+    tree = ast.parse(source, filename=rel_path)
+    summary = ModuleSummary(
+        name=name,
+        rel_path=rel_path,
+        is_package=is_package,
+        file_hash=file_hash,
+        tree=tree,
+        docstring=ast.get_docstring(tree),
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    summary.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    summary.imports.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(
+                    name, is_package, node.level, node.module
+                )
+            else:
+                base = node.module
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                summary.imports[local] = f"{base}.{alias.name}"
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            info = ClassInfo(name=node.name, node=node)
+            for base in node.bases:
+                parts: list[str] = []
+                cur: ast.AST = base
+                while isinstance(cur, ast.Attribute):
+                    parts.append(cur.attr)
+                    cur = cur.value
+                if isinstance(cur, ast.Name):
+                    parts.append(cur.id)
+                    info.bases.append(".".join(reversed(parts)))
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[item.name] = item
+            summary.classes[node.name] = info
+    return summary
+
+
+@dataclass
+class SymbolTable:
+    """Every module under the analyzed tree, keyed by dotted name."""
+
+    root: pathlib.Path
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    #: modules parsed fresh (cache miss) on this build, in path order.
+    analyzed: list[str] = field(default_factory=list)
+
+    def add(self, rel_path: str, source: str) -> ModuleSummary:
+        """Summarize one module, reusing the hash-keyed cache."""
+        file_hash = _hash_source(source)
+        cached = _SUMMARY_CACHE.get(rel_path)
+        if cached is not None and cached[0] == file_hash:
+            summary = cached[1]
+        else:
+            summary = _summarize(rel_path, source, file_hash)
+            _SUMMARY_CACHE[rel_path] = (file_hash, summary)
+            self.analyzed.append(summary.name)
+        self.modules[summary.name] = summary
+        return summary
+
+    def module_of(self, rel_path: str) -> ModuleSummary | None:
+        """The summary whose file is *rel_path*, if analyzed."""
+        for summary in self.modules.values():
+            if summary.rel_path == rel_path:
+                return summary
+        return None
+
+    def signature(self) -> tuple[tuple[str, str], ...]:
+        """Stable (rel_path, hash) fingerprint of the analyzed tree."""
+        return tuple(
+            sorted(
+                (s.rel_path, s.file_hash) for s in self.modules.values()
+            )
+        )
+
+    def resolve_symbol(
+        self, dotted: str, _depth: int = 0
+    ) -> tuple[ModuleSummary, str] | None:
+        """Locate the defining module of a fully-qualified *dotted* name.
+
+        Returns ``(module_summary, symbol)`` where *symbol* is a
+        top-level class or function name in that module, following
+        package re-exports (``from .server import StatsServer`` in an
+        ``__init__``) up to a small bounded depth.  ``None`` for names
+        outside the analyzed tree.
+        """
+        if _depth > 8:
+            return None
+        # Longest module prefix wins: repro.serve.server.StatsServer
+        # splits at the deepest dotted name that is a known module.
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            summary = self.modules.get(module_name)
+            if summary is None:
+                continue
+            remainder = parts[cut:]
+            if not remainder:
+                return (summary, "")
+            symbol = remainder[0]
+            if symbol in summary.classes or symbol in summary.functions:
+                return (summary, symbol)
+            if symbol in summary.imports:
+                target = summary.imports[symbol]
+                tail = ".".join(remainder[1:])
+                full = f"{target}.{tail}" if tail else target
+                return self.resolve_symbol(full, _depth + 1)
+            return None
+        return None
+
+
+def build_symbol_table(
+    root: pathlib.Path,
+    sources: dict[str, str] | None = None,
+) -> SymbolTable:
+    """Build the symbol table for the tree at *root*.
+
+    *sources* (rel_path → source text) overrides disk discovery — the
+    unit-test entry point for synthetic mini-projects.  On-disk builds
+    scan ``src/repro`` like the lint engine does.
+    """
+    table = SymbolTable(root=root)
+    if sources is not None:
+        for rel_path in sorted(sources):
+            table.add(rel_path, sources[rel_path])
+        return table
+    package = root / "src" / "repro"
+    if not package.is_dir():
+        raise ParameterError(
+            f"no src/repro package under {root}; pass explicit sources"
+        )
+    for path in sorted(package.rglob("*.py")):
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        table.add(rel, path.read_text())
+    return table

@@ -1,0 +1,141 @@
+"""Call-graph construction over a fixture mini-project.
+
+Pins the resolution tiers — plain calls, constructors, ``self.method``,
+``self.attr.method`` through inferred attribute types, local-variable
+method calls — plus the deterministic DOT rendering as a golden file.
+
+Regenerate the golden DOT after intentional changes with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_callgraph.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.lint.callgraph import build_call_graph
+from repro.lint.symbols import build_symbol_table
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "callgraph.dot"
+
+UTIL = '''"""util."""
+
+
+def helper(x):
+    """H."""
+    return x
+
+
+class Widget:
+    """W."""
+
+    def __init__(self, size):
+        """Init."""
+        self.size = size
+
+    def spin(self):
+        """S."""
+        return helper(self.size)
+'''
+
+APP = '''"""app."""
+
+import time
+
+from .util import Widget, helper
+
+
+def run():
+    """R."""
+    w = Widget(3)
+    time.sleep(0)
+    return helper(w.spin())
+
+
+class App:
+    """A."""
+
+    def __init__(self):
+        """Init."""
+        self.widget = Widget(5)
+
+    def go(self):
+        """G."""
+        return self.widget.spin()
+
+    async def tick(self):
+        """T."""
+        return self.go()
+'''
+
+SOURCES = {
+    "src/repro/__init__.py": '"""pkg."""\n',
+    "src/repro/util.py": UTIL,
+    "src/repro/app.py": APP,
+}
+
+
+def _graph(tmp_path):
+    return build_call_graph(build_symbol_table(tmp_path, sources=SOURCES))
+
+
+def _project_edges(graph):
+    return {
+        (e.caller, e.callee) for e in graph.edges if not e.external
+    }
+
+
+class TestResolutionTiers:
+    def test_plain_and_constructor_calls(self, tmp_path):
+        edges = _project_edges(_graph(tmp_path))
+        assert ("repro.app.run", "repro.util.helper") in edges
+        assert ("repro.app.run", "repro.util.Widget.__init__") in edges
+
+    def test_local_variable_method_call(self, tmp_path):
+        edges = _project_edges(_graph(tmp_path))
+        assert ("repro.app.run", "repro.util.Widget.spin") in edges
+
+    def test_self_method_call(self, tmp_path):
+        edges = _project_edges(_graph(tmp_path))
+        assert ("repro.app.App.tick", "repro.app.App.go") in edges
+
+    def test_self_attr_method_via_inferred_type(self, tmp_path):
+        graph = _graph(tmp_path)
+        assert graph.attr_types["repro.app.App"]["widget"] == {
+            "repro.util.Widget"
+        }
+        assert ("repro.app.App.go", "repro.util.Widget.spin") in (
+            _project_edges(graph)
+        )
+
+    def test_external_calls_keep_their_dotted_name(self, tmp_path):
+        graph = _graph(tmp_path)
+        externals = {
+            e.callee for e in graph.calls_from("repro.app.run") if e.external
+        }
+        assert "time.sleep" in externals
+
+    def test_reverse_index(self, tmp_path):
+        graph = _graph(tmp_path)
+        callers = {e.caller for e in graph.callers_of("repro.util.helper")}
+        assert callers == {"repro.app.run", "repro.util.Widget.spin"}
+
+    def test_async_units_are_marked(self, tmp_path):
+        graph = _graph(tmp_path)
+        assert graph.units["repro.app.App.tick"].is_async
+        assert not graph.units["repro.app.App.go"].is_async
+
+
+class TestDotRendering:
+    def test_dot_matches_golden(self, tmp_path):
+        actual = _graph(tmp_path).to_dot()
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN.write_text(actual)
+        assert actual == GOLDEN.read_text(), (
+            "fixture call graph drifted from its golden DOT; if the "
+            "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+
+    def test_dot_is_deterministic(self, tmp_path):
+        assert _graph(tmp_path).to_dot() == _graph(tmp_path).to_dot()

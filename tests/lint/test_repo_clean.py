@@ -21,3 +21,13 @@ class TestRepoIsLintClean:
         assert report.files > 60  # src/repro modules + Markdown docs
         assert report.nodes > 10_000
         assert len(report.rules) >= 9
+
+    def test_flow_run_has_zero_findings(self):
+        """The whole-program SEED/CON analysis is also a zero gate."""
+        report = run_lint(flow=True)
+        assert report.findings == [], (
+            "repo violates its own flow rules:\n" + render_text(report)
+        )
+        assert report.flow is not None
+        assert report.flow["modules"] > 60
+        assert report.flow["call_edges"] > 1_000

@@ -1,0 +1,140 @@
+"""The project symbol table: naming, imports, re-exports, caching.
+
+Everything runs over synthetic in-memory mini-projects (the ``sources``
+argument of :func:`build_symbol_table`), so these tests pin the
+resolution semantics without depending on the real package layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.lint.symbols import (
+    build_symbol_table,
+    clear_summary_cache,
+    module_name_for,
+)
+
+PKG = '"""pkg."""\nfrom .server import Thing\n'
+SERVER = '"""server."""\n\n\nclass Thing:\n    """T."""\n'
+SUB_PKG = '"""sub."""\n'
+SUB_MOD = (
+    '"""mod."""\n'
+    "from ..server import Thing\n"
+    "from .helper import aid as assist\n"
+    "import json\n"
+    "import numpy as np\n"
+)
+SUB_HELPER = '"""helper."""\n\n\ndef aid(x):\n    """A."""\n    return x\n'
+
+SOURCES = {
+    "src/repro/__init__.py": PKG,
+    "src/repro/server.py": SERVER,
+    "src/repro/sub/__init__.py": SUB_PKG,
+    "src/repro/sub/mod.py": SUB_MOD,
+    "src/repro/sub/helper.py": SUB_HELPER,
+}
+
+
+def _table(tmp_path, sources=SOURCES):
+    return build_symbol_table(tmp_path, sources=sources)
+
+
+class TestModuleNaming:
+    def test_plain_module(self):
+        assert module_name_for("src/repro/serve/server.py") == (
+            "repro.serve.server"
+        )
+
+    def test_package_init(self):
+        assert module_name_for("src/repro/serve/__init__.py") == "repro.serve"
+
+    def test_root_init(self):
+        assert module_name_for("src/repro/__init__.py") == "repro"
+
+    def test_unnameable_path_rejected(self):
+        with pytest.raises(ParameterError, match="cannot derive"):
+            module_name_for("src")
+
+
+class TestImportResolution:
+    def test_relative_import_from_module(self, tmp_path):
+        table = _table(tmp_path)
+        mod = table.modules["repro.sub.mod"]
+        assert mod.imports["Thing"] == "repro.server.Thing"
+        assert mod.imports["assist"] == "repro.sub.helper.aid"
+
+    def test_relative_import_from_package_init(self, tmp_path):
+        table = _table(tmp_path)
+        pkg = table.modules["repro"]
+        assert pkg.imports["Thing"] == "repro.server.Thing"
+
+    def test_absolute_imports_and_aliases(self, tmp_path):
+        mod = _table(tmp_path).modules["repro.sub.mod"]
+        assert mod.imports["json"] == "json"
+        assert mod.imports["np"] == "numpy"
+
+    def test_resolve_local_prefers_imports_then_own_defs(self, tmp_path):
+        table = _table(tmp_path)
+        mod = table.modules["repro.sub.mod"]
+        assert mod.resolve_local("Thing") == "repro.server.Thing"
+        helper = table.modules["repro.sub.helper"]
+        assert helper.resolve_local("aid") == "repro.sub.helper.aid"
+        assert helper.resolve_local("len") == "len"
+
+
+class TestSymbolResolution:
+    def test_direct_class_lookup(self, tmp_path):
+        table = _table(tmp_path)
+        summary, symbol = table.resolve_symbol("repro.server.Thing")
+        assert summary.name == "repro.server"
+        assert symbol == "Thing"
+
+    def test_package_reexport_is_followed(self, tmp_path):
+        table = _table(tmp_path)
+        summary, symbol = table.resolve_symbol("repro.Thing")
+        assert summary.name == "repro.server"
+        assert symbol == "Thing"
+
+    def test_external_names_resolve_to_none(self, tmp_path):
+        table = _table(tmp_path)
+        assert table.resolve_symbol("numpy.random.default_rng") is None
+        assert table.resolve_symbol("repro.server.Missing") is None
+
+    def test_module_of_maps_paths_back(self, tmp_path):
+        table = _table(tmp_path)
+        summary = table.module_of("src/repro/sub/helper.py")
+        assert summary is not None and summary.name == "repro.sub.helper"
+        assert table.module_of("src/repro/nope.py") is None
+
+
+class TestSummaryCache:
+    def test_edit_reanalyzes_only_the_changed_module(self, tmp_path):
+        clear_summary_cache()
+        first = _table(tmp_path)
+        assert sorted(first.analyzed) == sorted(
+            s.name for s in first.modules.values()
+        )
+
+        second = _table(tmp_path)
+        assert second.analyzed == []  # warm cache: nothing re-parsed
+
+        edited = dict(SOURCES)
+        edited["src/repro/server.py"] = (
+            SERVER + '\n\nclass Other:\n    """O."""\n'
+        )
+        third = _table(tmp_path, sources=edited)
+        assert third.analyzed == ["repro.server"]
+        assert "Other" in third.modules["repro.server"].classes
+
+    def test_signature_tracks_content(self, tmp_path):
+        clear_summary_cache()
+        table = _table(tmp_path)
+        same = _table(tmp_path)
+        assert table.signature() == same.signature()
+        edited = dict(SOURCES)
+        edited["src/repro/server.py"] = SERVER + "_X = 1\n"
+        assert _table(tmp_path, sources=edited).signature() != (
+            table.signature()
+        )
