@@ -15,7 +15,7 @@ from typing import Iterator
 
 from .engine import Finding, LintContext, Rule, register
 
-__all__ = ["DocstringRule", "LinkRule"]
+__all__ = ["DocstringRule", "LinkRule", "ApiReferenceRule"]
 
 
 @register
@@ -39,7 +39,10 @@ class DocstringRule(Rule):
     @staticmethod
     def _public_defs(body, prefix: str):
         """Yield (qualname, node) for public defs/classes in *body*,
-        one level into classes but not into function bodies."""
+        one level into classes but not into function bodies.  Defs
+        nested in conditional statements (``if``/``try``/``match``/
+        ``with`` blocks, e.g. version-gated fallbacks) are still part
+        of the public surface and are descended into."""
         for node in body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if not node.name.startswith("_"):
@@ -50,6 +53,21 @@ class DocstringRule(Rule):
                     yield from DocstringRule._public_defs(
                         node.body, f"{prefix}{node.name}."
                     )
+            elif isinstance(node, ast.If):
+                yield from DocstringRule._public_defs(node.body, prefix)
+                yield from DocstringRule._public_defs(node.orelse, prefix)
+            elif isinstance(node, ast.Try):
+                for block in (node.body, node.orelse, node.finalbody):
+                    yield from DocstringRule._public_defs(block, prefix)
+                for handler in node.handlers:
+                    yield from DocstringRule._public_defs(
+                        handler.body, prefix
+                    )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                yield from DocstringRule._public_defs(node.body, prefix)
+            elif isinstance(node, ast.Match):
+                for case in node.cases:
+                    yield from DocstringRule._public_defs(case.body, prefix)
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         """Require docstrings on the module and its public defs."""
@@ -120,3 +138,87 @@ class LinkRule(Rule):
                         ctx, lineno, match.start(),
                         f"broken relative link -> {target}",
                     )
+
+
+_API_HEADING = re.compile(r"^### `(repro[\w.]*)`$")
+
+
+def _first_paragraph(doc: str | None) -> str:
+    """The generator's docstring rendering (kept in lockstep with
+    ``tools/gen_api_reference.py``)."""
+    if not doc:
+        return "*(undocumented)*"
+    paragraph = doc.strip().split("\n\n")[0]
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+@register
+class ApiReferenceRule(Rule):
+    """DOC003 — docs/API.md module sections match the live docstrings."""
+
+    id = "DOC003"
+    severity = "error"
+    summary = "stale docs/API.md section vs the live module docstrings"
+    rationale = (
+        "docs/API.md is generated from docstrings by "
+        "tools/gen_api_reference.py; once it drifts — a module added "
+        "without a section, or a docstring rewritten without "
+        "regenerating — the reference silently documents a codebase "
+        "that no longer exists. This folds the drift check into the "
+        "zero-findings gate like every other doc rule."
+    )
+    example_fix = (
+        "run `python tools/gen_api_reference.py` (after adding new "
+        "modules to its SECTIONS table)"
+    )
+    targets = "markdown"
+    paths = ("docs/API.md",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Cross-check API.md headings against the parsed module tree."""
+        package = ctx.root / "src" / "repro"
+        if not package.is_dir():
+            return
+        from .symbols import build_symbol_table
+
+        table = build_symbol_table(ctx.root)
+        headings: dict[str, tuple[int, str]] = {}
+        for lineno, line in enumerate(ctx.lines, start=1):
+            match = _API_HEADING.match(line)
+            if match is None:
+                continue
+            paragraph = ""
+            for follow in ctx.lines[lineno:]:
+                if follow.strip():
+                    paragraph = follow.strip()
+                    break
+            headings[match.group(1)] = (lineno, paragraph)
+        for name, (lineno, paragraph) in sorted(headings.items()):
+            summary = table.modules.get(name)
+            if summary is None:
+                yield self.finding(
+                    ctx, lineno, 0,
+                    f"docs/API.md documents `{name}` but no such module "
+                    "exists; regenerate with tools/gen_api_reference.py",
+                )
+                continue
+            expected = _first_paragraph(summary.docstring)
+            if paragraph != expected:
+                yield self.finding(
+                    ctx, lineno, 0,
+                    f"docs/API.md section for `{name}` is stale (its "
+                    "docstring changed); regenerate with "
+                    "tools/gen_api_reference.py",
+                )
+        for name, summary in sorted(table.modules.items()):
+            if summary.is_package or name.endswith("__main__"):
+                continue
+            if any(part.startswith("_") for part in name.split(".")):
+                continue
+            if name not in headings:
+                yield self.finding(
+                    ctx, 1, 0,
+                    f"module `{name}` has no docs/API.md section; add it "
+                    "to tools/gen_api_reference.py SECTIONS and "
+                    "regenerate",
+                )

@@ -220,6 +220,10 @@ class SetIterationRule(Rule):
 
     @staticmethod
     def _is_unordered(node: ast.AST, table: ImportTable) -> bool:
+        if isinstance(node, ast.NamedExpr):
+            # A walrus target is just a view of its value:
+            # `for x in (s := {...})` iterates the set.
+            node = node.value
         if isinstance(node, (ast.Set, ast.SetComp)):
             return True
         if isinstance(node, ast.Call):
@@ -249,7 +253,7 @@ class SetIterationRule(Rule):
                     for gen in arg.generators:
                         blessed.add(id(gen.iter))
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.For):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
                 if self._is_unordered(node.iter, table):
                     yield self.finding(
                         ctx, node.iter.lineno, node.iter.col_offset,
@@ -451,7 +455,7 @@ class PicklableExceptionRule(Rule):
             methods = {
                 item.name: item
                 for item in node.body
-                if isinstance(item, ast.FunctionDef)
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
             }
             if "__reduce__" in methods or "__init__" not in methods:
                 continue

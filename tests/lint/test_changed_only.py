@@ -1,0 +1,72 @@
+"""``changed_files`` — the git-aware file set behind ``--changed-only``.
+
+Each test fabricates a real git repo in ``tmp_path`` (init, commit,
+dirty edits) and asserts the exact file set: lintable changes in, other
+files out, with a hard error when no ``main`` merge-base exists.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lint import changed_files
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+def _seed_repo(tmp_path, branch="main"):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text('"""pkg."""\n')
+    (tmp_path / "src" / "repro" / "a.py").write_text('"""a."""\n')
+    (tmp_path / "README.md").write_text("# readme\n")
+    _git(tmp_path, "init", "-b", branch)
+    _git(tmp_path, "config", "user.email", "lint@test")
+    _git(tmp_path, "config", "user.name", "lint test")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-m", "seed")
+    return tmp_path
+
+
+class TestChangedFiles:
+    def test_clean_worktree_has_no_changes(self, tmp_path):
+        root = _seed_repo(tmp_path)
+        assert changed_files(root) == []
+
+    def test_dirty_worktree_reports_only_lintable_changes(self, tmp_path):
+        root = _seed_repo(tmp_path)
+        (root / "src" / "repro" / "a.py").write_text('"""a2."""\n')
+        (root / "src" / "repro" / "b.py").write_text('"""b."""\n')  # untracked
+        (root / "README.md").write_text("# readme v2\n")
+        (root / "notes.txt").write_text("not lintable\n")
+        changed = {p.resolve() for p in changed_files(root)}
+        assert changed == {
+            (root / "src" / "repro" / "a.py").resolve(),
+            (root / "src" / "repro" / "b.py").resolve(),
+            (root / "README.md").resolve(),
+        }
+
+    def test_branch_commits_diff_against_the_main_merge_base(self, tmp_path):
+        root = _seed_repo(tmp_path)
+        _git(root, "checkout", "-q", "-b", "feature")
+        (root / "src" / "repro" / "a.py").write_text('"""branched."""\n')
+        _git(root, "add", "-A")
+        _git(root, "commit", "-m", "branch edit")
+        changed = [p.resolve() for p in changed_files(root)]
+        assert changed == [(root / "src" / "repro" / "a.py").resolve()]
+
+    def test_deleted_files_are_skipped(self, tmp_path):
+        root = _seed_repo(tmp_path)
+        (root / "src" / "repro" / "a.py").unlink()
+        assert changed_files(root) == []
+
+    def test_missing_main_branch_is_an_error(self, tmp_path):
+        root = _seed_repo(tmp_path, branch="trunk")
+        with pytest.raises(ReproError, match="merge-base"):
+            changed_files(root)

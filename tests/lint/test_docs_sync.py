@@ -21,7 +21,7 @@ DOC = ROOT / "docs" / "LINTING.md"
 README = ROOT / "README.md"
 ARCHITECTURE = ROOT / "docs" / "ARCHITECTURE.md"
 
-_RULE_ID = re.compile(r"\b(?:DET|OBS|EXC|FLT|DOC|NOQA)\d{3}\b")
+_RULE_ID = re.compile(r"\b(?:DET|OBS|EXC|FLT|DOC|NOQA|SEED|CON)\d{3}\b")
 
 
 def _doc_text() -> str:

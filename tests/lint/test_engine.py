@@ -43,7 +43,9 @@ class TestRegistry:
         assert set(rule_ids()) == {
             "DET001", "DET002", "DET003", "DET004",
             "OBS001", "EXC001", "EXC002", "EXC003", "FLT001",
-            "DOC001", "DOC002", "NOQA001",
+            "DOC001", "DOC002", "DOC003", "NOQA001",
+            "SEED101", "SEED102", "SEED103",
+            "CON101", "CON102", "CON103",
         }
 
     def test_every_rule_is_described(self):

@@ -1,0 +1,121 @@
+"""Source fragments the visitors used to fall through.
+
+Building the call graph exposed constructs the per-module rules missed:
+walrus-wrapped iterables, ``async for``/async comprehensions (DET003)
+and defs nested in conditional statements (DOC001).  Each fragment here
+pins one of those gaps, positive and negative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_text
+
+
+def _rules(src, rules):
+    return [f.rule for f in lint_text(src, rules=rules).findings]
+
+
+class TestDet003WalrusAndAsync:
+    def test_walrus_wrapped_set_is_flagged(self):
+        src = (
+            '"""m."""\n\n\n'
+            "def f():\n"
+            '    """F."""\n'
+            "    for x in (s := {1, 2}):\n"
+            "        print(x)\n"
+            "    return s\n"
+        )
+        assert _rules(src, ["DET003"]) == ["DET003"]
+
+    def test_walrus_wrapped_sorted_set_is_clean(self):
+        src = (
+            '"""m."""\n\n\n'
+            "def f():\n"
+            '    """F."""\n'
+            "    for x in (s := sorted({1, 2})):\n"
+            "        print(x)\n"
+            "    return s\n"
+        )
+        assert _rules(src, ["DET003"]) == []
+
+    def test_async_for_over_a_set_is_flagged(self):
+        src = (
+            '"""m."""\n\n\n'
+            "async def f():\n"
+            '    """F."""\n'
+            "    async for x in {1, 2}:\n"
+            "        print(x)\n"
+        )
+        assert _rules(src, ["DET003"]) == ["DET003"]
+
+    def test_async_set_comprehension_iterable_is_flagged(self):
+        src = (
+            '"""m."""\n\n\n'
+            "async def f(gen):\n"
+            '    """F."""\n'
+            "    for x in {i async for i in gen}:\n"
+            "        print(x)\n"
+        )
+        assert _rules(src, ["DET003"]) == ["DET003"]
+
+
+class TestDoc001ConditionalDefs:
+    @pytest.mark.parametrize(
+        "src, expected",
+        [
+            (
+                '"""m."""\nif True:\n    def f():\n        return 1\n',
+                ["DOC001"],
+            ),
+            (
+                '"""m."""\ntry:\n    def f():\n        return 1\n'
+                "except ImportError:\n    def f():\n        return 2\n",
+                ["DOC001", "DOC001"],
+            ),
+            (
+                '"""m."""\nmatch 1:\n    case 1:\n'
+                "        def f():\n            return 1\n",
+                ["DOC001"],
+            ),
+            (
+                '"""m."""\nwith open("x") as fh:\n'
+                "    def f():\n        return 1\n",
+                ["DOC001"],
+            ),
+        ],
+        ids=["if", "try-except", "match-case", "with"],
+    )
+    def test_conditional_def_without_docstring_is_flagged(
+        self, src, expected
+    ):
+        assert _rules(src, ["DOC001"]) == expected
+
+    def test_documented_conditional_def_is_clean(self):
+        src = (
+            '"""m."""\n'
+            "try:\n"
+            "    def f():\n"
+            '        """F."""\n'
+            "        return 1\n"
+            "except ImportError:\n"
+            "    def f():\n"
+            '        """Fallback."""\n'
+            "        return 2\n"
+        )
+        assert _rules(src, ["DOC001"]) == []
+
+    def test_private_conditional_def_is_exempt(self):
+        src = '"""m."""\nif True:\n    def _f():\n        return 1\n'
+        assert _rules(src, ["DOC001"]) == []
+
+    def test_async_method_without_docstring_is_flagged(self):
+        src = (
+            '"""m."""\n\n\n'
+            "class C:\n"
+            '    """C."""\n\n'
+            "    async def go(self):\n"
+            "        return 1\n"
+        )
+        assert _rules(src, ["DOC001"]) == ["DOC001"]

@@ -167,6 +167,22 @@ SECTIONS = [
         ],
     ),
     (
+        "repro.lint — static analysis",
+        "The determinism/invariant lint engine, its per-module and "
+        "whole-program (flow) rule sets, the project symbol table and "
+        "call graph, and report/baseline handling; see docs/LINTING.md "
+        "for the rule catalog.",
+        [
+            "repro.lint.engine",
+            "repro.lint.symbols",
+            "repro.lint.callgraph",
+            "repro.lint.rules",
+            "repro.lint.docrules",
+            "repro.lint.flowrules",
+            "repro.lint.report",
+        ],
+    ),
+    (
         "Command line",
         "`python -m repro` subcommands.",
         ["repro.cli"],
