@@ -541,16 +541,21 @@ def _lint_run(ctx: dict) -> dict:
     Scale-independent on purpose: the analysed corpus is this repo itself,
     so the logical section moves exactly when ``src/repro`` or the doc set
     changes — making analysis cost a tracked quantity like any other.
+    Runs with ``flow=True`` so the whole-program pass (symbol table, call
+    graph, SEED/CON rules) is inside the measured and gated work; the
+    ``flow_*`` counters track the project model's size exactly.
     """
     from .. import lint
 
-    report = lint.run_lint(root=ctx["root"])
+    report = lint.run_lint(root=ctx["root"], flow=True)
     return {
         "files": report.files,
         "nodes": report.nodes,
         "rules": len(report.rules),
         "findings": len(report.findings),
         "errors": len(report.errors),
+        "flow_modules": report.flow["modules"],
+        "flow_call_edges": report.flow["call_edges"],
     }
 
 
